@@ -1,0 +1,126 @@
+"""E11 — Encapsulation ameliorates reasoning cost (Section VI).
+
+The paper: "the reasoning only needs to concern itself with resources
+available inside the encapsulation", proposed as the answer to ROTA's
+complexity.  This bench builds one big flat system and the same capacity
+partitioned into enclaves, runs the same admission stream against both,
+and measures the per-admission cost — the enclave's controller tracks a
+fraction of the types and commitments, which is exactly the claimed win.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import AdmissionController
+from repro.encapsulation import Enclave
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+HORIZON = 120
+NODES = 32
+
+
+def capacity(node_range) -> ResourceSet:
+    return ResourceSet(
+        ResourceTerm(4, cpu(f"n{index}"), Interval(0, HORIZON))
+        for index in node_range
+    )
+
+
+def jobs_for(node_range, count: int, seed: int = 13):
+    rng = random.Random(seed)
+    nodes = list(node_range)
+    out = []
+    for index in range(count):
+        node = rng.choice(nodes)
+        out.append(
+            ComplexRequirement(
+                [Demands({cpu(f"n{node}"): rng.randint(4, 16)})],
+                Interval(rng.randint(0, 40), HORIZON),
+                label=f"j{index}",
+            )
+        )
+    return out
+
+
+def test_enclave_equivalence(emit):
+    """Partitioned admission admits exactly what flat admission admits
+    when jobs are node-local (the partition matches the demand)."""
+    flat = AdmissionController(capacity(range(NODES)))
+    root = Enclave.root(capacity(range(NODES)))
+    enclaves = {}
+    for quarter in range(4):
+        node_range = range(quarter * 8, (quarter + 1) * 8)
+        enclaves[quarter] = root.spawn(f"q{quarter}", capacity(node_range))
+
+    flat_verdicts = []
+    enclave_verdicts = []
+    for job in jobs_for(range(NODES), 64):
+        flat_verdicts.append(flat.admit(job).admitted)
+        node_index = int(next(iter(job.phases[0])).location.name[1:])
+        enclave = enclaves[node_index // 8]
+        enclave_verdicts.append(enclave.admit(job).admitted)
+    assert flat_verdicts == enclave_verdicts
+    emit(
+        render_table(
+            ("jobs", "flat admitted", "enclave admitted"),
+            [(64, sum(flat_verdicts), sum(enclave_verdicts))],
+            title="E11 — enclave admission equals flat admission (node-local jobs)",
+        )
+    )
+
+
+@pytest.mark.parametrize("mode", ["flat", "enclave"])
+def test_bench_admission_flat_vs_enclave(benchmark, mode):
+    """Same 64-job stream; the enclave controller reasons over 8 nodes
+    instead of 32."""
+    jobs = jobs_for(range(NODES), 64)
+
+    if mode == "flat":
+        def run():
+            controller = AdmissionController(capacity(range(NODES)))
+            return sum(controller.admit(job).admitted for job in jobs)
+    else:
+        def run():
+            root = Enclave.root(capacity(range(NODES)))
+            enclaves = [
+                root.spawn(f"q{q}", capacity(range(q * 8, (q + 1) * 8)))
+                for q in range(4)
+            ]
+            admitted = 0
+            for job in jobs:
+                node_index = int(next(iter(job.phases[0])).location.name[1:])
+                admitted += enclaves[node_index // 8].admit(job).admitted
+            return admitted
+
+    count = benchmark(run)
+    assert count > 0
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_bench_admit_anywhere_depth(benchmark, depth):
+    """Falling through a deeper hierarchy costs proportionally more —
+    the price of the search, quantified.  Each measured round rebuilds
+    the hierarchy (admissions commit resources, so state must be fresh).
+    """
+    job = ComplexRequirement(
+        [Demands({cpu("n0"): 4})], Interval(0, HORIZON), label="wanderer"
+    )
+
+    def build_and_place():
+        root = Enclave.root(capacity(range(4)))
+        current = root
+        for level in range(depth):
+            # every level hands its entire slack down, so only the
+            # deepest enclave can admit
+            current = current.spawn(f"level{level}", current.slack)
+        placed = root.admit_anywhere(job)
+        return placed, current
+
+    placed, deepest = benchmark(build_and_place)
+    assert placed is deepest

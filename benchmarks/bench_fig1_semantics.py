@@ -1,0 +1,155 @@
+"""E3 — Figure 1: the ROTA satisfaction relation.
+
+Exercises every semantic clause of Figure 1 on generated models (the
+executable reading of the figure), asserts the expected truth values, and
+benchmarks formula evaluation on linear paths and over the branching
+evolution tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+    Demands,
+    SimpleRequirement,
+)
+from repro.intervals import Interval
+from repro.logic import (
+    FALSE,
+    TRUE,
+    accommodate,
+    always,
+    eventually,
+    exists_on_some_path,
+    greedy_path,
+    initial_state,
+    models,
+    satisfy,
+)
+from repro.resources import ResourceSet, cpu, term
+
+CPU1 = cpu("l1")
+
+
+def busy_path():
+    """Rate-2 cpu over (0,10) with a committed 12-unit job: 8 expire."""
+    pool = ResourceSet.of(term(2, CPU1, 0, 10))
+    state = accommodate(
+        initial_state(pool, 0),
+        ComplexRequirement([Demands({CPU1: 12})], Interval(0, 10), label="busy"),
+    )
+    return greedy_path(state, 10, 1)
+
+
+CLAUSES = [
+    ("true", TRUE, True),
+    ("false", FALSE, False),
+    (
+        "satisfy(rho(gamma,s,d)) within slack",
+        satisfy(SimpleRequirement(Demands({CPU1: 8}), Interval(0, 10))),
+        True,
+    ),
+    (
+        "satisfy(rho(gamma,s,d)) beyond slack",
+        satisfy(SimpleRequirement(Demands({CPU1: 9}), Interval(0, 10))),
+        False,
+    ),
+    (
+        "satisfy(rho(Gamma,s,d)) two phases",
+        satisfy(
+            ComplexRequirement(
+                [Demands({CPU1: 4}), Demands({CPU1: 4})], Interval(0, 10), label="g"
+            )
+        ),
+        True,
+    ),
+    (
+        "satisfy(rho(Lambda,s,d)) two actors",
+        satisfy(
+            ConcurrentRequirement(
+                (
+                    ComplexRequirement([Demands({CPU1: 4})], Interval(0, 10), "a"),
+                    ComplexRequirement([Demands({CPU1: 4})], Interval(0, 10), "b"),
+                ),
+                Interval(0, 10),
+            )
+        ),
+        True,
+    ),
+    (
+        "not psi",
+        ~satisfy(SimpleRequirement(Demands({CPU1: 9}), Interval(0, 10))),
+        True,
+    ),
+    (
+        "eventually psi",
+        eventually(satisfy(SimpleRequirement(Demands({CPU1: 2}), Interval(8, 10)))),
+        True,
+    ),
+    (
+        "always psi (fails at closed window)",
+        always(satisfy(SimpleRequirement(Demands({CPU1: 2}), Interval(8, 10)))),
+        False,
+    ),
+]
+
+
+def test_fig1_every_clause(emit):
+    path = busy_path()
+    rows = []
+    for name, formula, expected in CLAUSES:
+        actual = models(path, 0, formula)
+        assert actual == expected, name
+        rows.append((name, expected, actual))
+    emit(
+        render_table(
+            ("clause", "expected", "holds"),
+            rows,
+            title="Figure 1 — satisfaction relation, clause by clause",
+        )
+    )
+
+
+def test_bench_linear_evaluation(benchmark):
+    path = busy_path()
+    formulas = [formula for _, formula, _ in CLAUSES]
+
+    def evaluate_all():
+        return [models(path, 0, f) for f in formulas]
+
+    benchmark(evaluate_all)
+
+
+def test_bench_temporal_nesting(benchmark):
+    path = busy_path()
+    nested = always(
+        eventually(satisfy(SimpleRequirement(Demands({CPU1: 1}), Interval(9, 10))))
+    )
+
+    def evaluate():
+        return models(path, 0, nested)
+
+    benchmark(evaluate)
+
+
+@pytest.mark.parametrize("actors", [1, 2])
+def test_bench_branching_search(benchmark, actors):
+    """exists_on_some_path over the quantised evolution tree."""
+    pool = ResourceSet.of(term(2, CPU1, 0, 6))
+    state = initial_state(pool, 0)
+    for index in range(actors):
+        state = accommodate(
+            state,
+            ComplexRequirement([Demands({CPU1: 4})], Interval(0, 6), f"c{index}"),
+        )
+    target = satisfy(SimpleRequirement(Demands({CPU1: 2}), Interval(0, 6)))
+
+    def search():
+        return exists_on_some_path(state, 6, target)
+
+    witness = benchmark(search)
+    assert witness is not None

@@ -1,0 +1,106 @@
+"""E12 — Interacting actors: the assured price of waiting (Section VI).
+
+The paper's first future-work item, implemented: computations segmented
+by bounded-delay waits.  This bench sweeps the worst-case reply delay and
+the segment count, reporting (a) the interaction cost — how much later
+the assured finish is than the wait-free bound — and (b) the admission
+flip point where waits eat the whole deadline.  Timings cover the
+segmented witness search.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import Demands, SegmentedRequirement, Wait, request_reply
+from repro.decision import find_segmented_schedule, interaction_cost
+from repro.decision.segmented import is_feasible
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+CPU1 = cpu("l1")
+POOL = ResourceSet.of(ResourceTerm(2, CPU1, Interval(0, 60)))
+
+
+def rpc(max_delay, deadline=60):
+    return request_reply(
+        [Demands({CPU1: 10})],
+        [Demands({CPU1: 10})],
+        window=Interval(0, deadline),
+        max_delay=max_delay,
+        label="rpc",
+    )
+
+
+def test_delay_sweep_shape(emit):
+    """Interaction cost equals the worst-case delay until the deadline
+    absorbs it; then feasibility flips."""
+    rows = []
+    for delay in (0, 5, 10, 20, 40, 49, 51):
+        requirement = rpc(delay)
+        feasible = is_feasible(POOL, requirement)
+        cost = interaction_cost(POOL, requirement) if feasible else None
+        rows.append((delay, feasible, cost))
+        if feasible and cost is not None:
+            assert cost == delay
+    # work = 10/2 + 10/2 = 10 time units; flip at delay > 50
+    assert [row[1] for row in rows] == [True] * 6 + [False]
+    emit(
+        render_table(
+            ("max_delay", "assured", "interaction cost"),
+            rows,
+            title="E12 — worst-case delay vs assured finish (work=10)",
+        )
+    )
+
+
+def test_segment_count_sweep_shape(emit):
+    """More interaction points, same total work: each wait adds its
+    worst-case delay to the assured finish."""
+    rows = []
+    for segments in (1, 2, 4, 8):
+        requirement = SegmentedRequirement(
+            [[Demands({CPU1: 16 // segments})] for _ in range(segments)],
+            [Wait(max_delay=3)] * (segments - 1),
+            Interval(0, 60),
+            label=f"s{segments}",
+        )
+        schedule = find_segmented_schedule(POOL, requirement)
+        assert schedule is not None
+        rows.append((segments, schedule.finish_time, schedule.slack))
+    finishes = [row[1] for row in rows]
+    assert finishes == sorted(finishes)
+    assert finishes[-1] - finishes[0] == 3 * 7  # 7 extra waits x 3
+    emit(
+        render_table(
+            ("segments", "assured finish", "slack"),
+            rows,
+            title="E12 — segmentation overhead (total work 16, waits of 3)",
+        )
+    )
+
+
+@pytest.mark.parametrize("segments", [1, 2, 4, 8, 16])
+def test_bench_segmented_search(benchmark, segments):
+    requirement = SegmentedRequirement(
+        [[Demands({CPU1: 2})] for _ in range(segments)],
+        [Wait(max_delay=1)] * (segments - 1),
+        Interval(0, 60),
+        label="bench",
+    )
+
+    def search():
+        return find_segmented_schedule(POOL, requirement)
+
+    schedule = benchmark(search)
+    assert schedule is not None
+
+
+def test_bench_interaction_cost(benchmark):
+    requirement = rpc(10)
+
+    def cost():
+        return interaction_cost(POOL, requirement)
+
+    assert benchmark(cost) == 10

@@ -1,0 +1,64 @@
+"""E14 — The load/assurance trade-off curve (synthetic figure).
+
+The canonical admission-control figure the paper's argument implies:
+sweep offered load (arrival rate) on a fixed cluster and plot, per
+policy, (a) on-time completions and (b) deadline misses.  Expected shape:
+
+* every policy's completions saturate as the cluster fills;
+* unsound policies convert extra load into *misses* (broken promises),
+  while ROTA's miss curve is identically zero — the difference between
+  "admitting more" and "assuring more";
+* ROTA's completion curve tracks the best baseline's within noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.baselines import ALL_POLICIES
+from repro.workloads import cloud_scenario
+
+RATES = (0.1, 0.3, 0.6, 1.0)
+
+
+def _sweep():
+    return run_sweep(
+        "arrival_rate",
+        RATES,
+        lambda rate: cloud_scenario(seed=19, arrival_rate=rate),
+        [cls for cls in ALL_POLICIES],
+    )
+
+
+def test_load_sweep_shape(emit):
+    sweep = _sweep()
+
+    # ROTA never misses at any load level.
+    assert all(m == 0 for m in sweep.series("rota", "missed"))
+    # Optimistic misses grow with load (first vs last point).
+    optimistic_misses = sweep.series("optimistic", "missed")
+    assert optimistic_misses[-1] >= optimistic_misses[0]
+    assert optimistic_misses[-1] > 0
+    # Arrivals actually grow along the grid (the sweep is real).
+    arrivals = sweep.series("rota", "arrivals")
+    assert arrivals == sorted(arrivals) and arrivals[-1] > arrivals[0]
+    # ROTA completes at least as much as any sound-pretending baseline
+    # at the highest load.
+    last = sweep.points[-1].scores
+    for name in ("aggregate", "startpoint", "countbound"):
+        assert last["rota"].completed >= last[name].completed - 3
+
+    emit(sweep.table("completed", title="E14 — on-time completions vs offered load"))
+    emit(sweep.table("missed", title="E14 — deadline misses vs offered load"))
+    emit(sweep.table("utilization", title="E14 — utilization vs offered load"))
+
+
+def test_bench_full_sweep(benchmark):
+    """Wall-clock of the whole figure regeneration (coarse but honest)."""
+
+    def run():
+        return _sweep()
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(sweep.points) == len(RATES)

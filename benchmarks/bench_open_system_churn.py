@@ -1,0 +1,105 @@
+"""E10 — Open-system dynamics under churn.
+
+Sweeps peer-session rates on the volunteer topology and measures how
+admission volume and soundness respond.  Asserts the paper's open-system
+rules hold operationally: pre-declared leave times mean ROTA never
+over-commits against capacity that is about to vanish (zero misses at
+every churn level), while churn-blind baselines degrade.  Also checks the
+conservation invariant: offered = consumed + expired.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_policy
+from repro.analysis import render_table, score
+from repro.baselines import OptimisticAdmission, RotaAdmission, StartPointAdmission
+from repro.system import OpenSystemSimulator, ReservationPolicy, Topology
+from repro.workloads import churn_events, poisson_arrivals, random_requirement, stable_base
+from repro.workloads.scenarios import Scenario
+
+
+def churn_scenario(session_rate: float, seed: int = 21) -> Scenario:
+    rng = random.Random(seed)
+    horizon = 120
+    topology = Topology.full_mesh(5, cpu_rate=6, bandwidth=4)
+    events = list(
+        churn_events(
+            rng, topology, horizon=horizon, session_rate=session_rate,
+            min_session=8, max_session=30,
+        )
+    )
+    ltypes = [lt for lt, _ in topology.located_types()]
+    from repro.system import arrival
+
+    events.extend(
+        arrival(t, random_requirement(rng, ltypes, start=t, max_quantity=14))
+        for t in poisson_arrivals(rng, rate=0.3, horizon=horizon - 8)
+    )
+    return Scenario(
+        f"churn@{session_rate}",
+        stable_base(topology, horizon, fraction=0.2),
+        events,
+        horizon,
+    )
+
+
+CHURN_RATES = (0.05, 0.2, 0.5)
+
+
+def test_churn_sweep_shape(emit):
+    rows = []
+    for rate in CHURN_RATES:
+        scenario = churn_scenario(rate)
+        rota = score(run_policy(RotaAdmission, scenario))
+        optimistic = score(run_policy(OptimisticAdmission, scenario))
+        assert rota.missed == 0, f"rota missed under churn {rate}"
+        rows.append(
+            (
+                rate,
+                rota.admitted,
+                rota.missed,
+                optimistic.admitted,
+                optimistic.missed,
+            )
+        )
+    # more churn -> more capacity -> rota admits more
+    admitted = [row[1] for row in rows]
+    assert admitted == sorted(admitted)
+    emit(
+        render_table(
+            ("session rate", "rota admitted", "rota missed", "opt admitted", "opt missed"),
+            rows,
+            title="E10 — admission vs churn intensity",
+        )
+    )
+
+
+def test_conservation_under_churn():
+    """offered == consumed + expired per located type, churn included."""
+    scenario = churn_scenario(0.3)
+    report = run_policy(OptimisticAdmission, scenario)
+    consumed = report.trace.consumed_totals()
+    expired = report.trace.expired_totals()
+    for ltype, offered in report.offered.items():
+        total = consumed.get(ltype, 0) + expired.get(ltype, 0)
+        assert abs(total - offered) < 1e-6, ltype
+
+
+@pytest.mark.parametrize("rate", CHURN_RATES)
+def test_bench_rota_under_churn(benchmark, rate):
+    def run():
+        return run_policy(RotaAdmission, churn_scenario(rate))
+
+    report = benchmark(run)
+    assert report.missed == 0
+
+
+def test_bench_startpoint_under_churn(benchmark):
+    def run():
+        return run_policy(StartPointAdmission, churn_scenario(0.2))
+
+    benchmark(run)

@@ -1,0 +1,106 @@
+"""E13 — What the pre-declared-leave assumption is worth.
+
+The paper's open-system model requires that "if a resource is going to
+leave the system in the future, the time of leaving must be explicitly
+specified at the time of joining" — deadline assurance is built on that
+promise.  This experiment deliberately breaks it: a fraction of volunteer
+sessions revoke their capacity early, unannounced.
+
+Expected shape: ROTA's miss rate is exactly zero at violation rate 0 and
+grows with the violation rate — an honest quantification of the
+assumption rather than a claim that ROTA survives its violation.
+The optimistic baseline misses heavily at *every* violation level, so
+ROTA's degradation stays graceful relative to not reasoning at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_policy
+from repro.analysis import render_table, score
+from repro.baselines import OptimisticAdmission, RotaAdmission
+from repro.intervals import Interval
+from repro.system import Topology, arrival
+from repro.workloads import (
+    broken_promises,
+    churn_events,
+    poisson_arrivals,
+    random_requirement,
+    stable_base,
+)
+from repro.workloads.scenarios import Scenario
+
+HORIZON = 120
+
+
+def violated_scenario(violation_rate: float, seed: int = 31) -> Scenario:
+    rng = random.Random(seed)
+    topology = Topology.full_mesh(5, cpu_rate=6, bandwidth=4)
+    sessions = churn_events(
+        rng, topology, horizon=HORIZON, session_rate=0.3,
+        min_session=10, max_session=40,
+    )
+    revocations = broken_promises(
+        rng, sessions, violation_rate=violation_rate, min_early=3, max_early=12
+    )
+    ltypes = [lt for lt, _ in topology.located_types()]
+    events = [*sessions, *revocations]
+    events.extend(
+        arrival(t, random_requirement(rng, ltypes, start=t, max_quantity=14))
+        for t in poisson_arrivals(rng, rate=0.3, horizon=HORIZON - 8)
+    )
+    return Scenario(
+        f"violations@{violation_rate}",
+        stable_base(topology, HORIZON, fraction=0.2),
+        events,
+        HORIZON,
+    )
+
+
+RATES = (0.0, 0.1, 0.3, 0.6)
+
+
+def test_violation_sweep_shape(emit):
+    rows = []
+    for rate in RATES:
+        rota = score(run_policy(RotaAdmission, violated_scenario(rate)))
+        optimistic = score(
+            run_policy(OptimisticAdmission, violated_scenario(rate))
+        )
+        rows.append(
+            (rate, rota.admitted, rota.missed, rota.precision, optimistic.missed)
+        )
+    # Intact promises -> intact assurance.
+    assert rows[0][2] == 0
+    assert rows[0][3] == 1.0
+    # Violations cost assurance, monotonically in aggregate.
+    assert rows[-1][2] >= rows[0][2]
+    # ROTA still degrades more gracefully than not reasoning at all.
+    for row, optimistic_missed in ((r, r[4]) for r in rows):
+        assert row[2] <= optimistic_missed
+    emit(
+        render_table(
+            (
+                "violation rate",
+                "rota admitted",
+                "rota missed",
+                "rota precision",
+                "optimistic missed",
+            ),
+            rows,
+            title="E13 — deadline assurance vs broken leave-time promises",
+        )
+    )
+
+
+@pytest.mark.parametrize("rate", [0.0, 0.3])
+def test_bench_run_under_violations(benchmark, rate):
+    def run():
+        return run_policy(RotaAdmission, violated_scenario(rate))
+
+    report = benchmark(run)
+    if rate == 0.0:
+        assert report.missed == 0

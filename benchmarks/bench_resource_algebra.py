@@ -1,0 +1,132 @@
+"""E2 — Section III worked examples and resource-algebra throughput.
+
+Reproduces the paper's three resource-set calculations verbatim, then
+benchmarks union/complement/restriction at growing term counts (the
+operations every admission decision is built from).  Includes the D1
+ablation: canonical profile representation vs naive term-list scan.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu, network, term
+
+CPU1 = cpu("l1")
+NET = network("l1", "l2")
+
+
+def canonical(resource_set):
+    return sorted(
+        (t.rate, t.window.start, t.window.end, str(t.ltype))
+        for t in resource_set.terms()
+    )
+
+
+def test_paper_worked_examples(emit):
+    """The three calculations printed exactly as Section III states them."""
+    example1 = ResourceSet.of(term(5, CPU1, 0, 3)) | ResourceSet.of(term(5, NET, 0, 5))
+    assert canonical(example1) == [
+        (5, 0, 3, "<cpu, l1>"),
+        (5, 0, 5, "<network, l1 -> l2>"),
+    ]
+
+    example2 = ResourceSet.of(term(5, CPU1, 0, 3)) | ResourceSet.of(term(5, CPU1, 0, 5))
+    assert canonical(example2) == [(5, 3, 5, "<cpu, l1>"), (10, 0, 3, "<cpu, l1>")]
+
+    example3 = ResourceSet.of(term(5, CPU1, 0, 3)) - ResourceSet.of(term(3, CPU1, 1, 2))
+    assert canonical(example3) == [
+        (2, 1, 2, "<cpu, l1>"),
+        (5, 0, 1, "<cpu, l1>"),
+        (5, 2, 3, "<cpu, l1>"),
+    ]
+
+    rows = [
+        ("{5}cpu(0,3) U {5}net(0,5)", "two terms, types kept apart"),
+        ("{5}cpu(0,3) U {5}cpu(0,5)", "{10}cpu(0,3), {5}cpu(3,5)"),
+        ("{5}cpu(0,3) \\ {3}cpu(1,2)", "{5}(0,1), {2}(1,2), {5}(2,3)"),
+    ]
+    emit(render_table(("expression", "result"), rows, title="Section III examples"))
+
+
+def random_terms(count: int, seed: int = 1) -> list[ResourceTerm]:
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        start = rng.randint(0, 400)
+        out.append(
+            ResourceTerm(
+                rng.randint(1, 9),
+                CPU1 if rng.random() < 0.7 else NET,
+                Interval(start, start + rng.randint(1, 50)),
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("count", [10, 100, 1000])
+def test_bench_union_simplification(benchmark, count):
+    """Simplification cost as the system aggregates `count` joined terms."""
+    terms = random_terms(count)
+
+    def build():
+        return ResourceSet(terms)
+
+    result = benchmark(build)
+    assert not result.is_empty
+
+
+@pytest.mark.parametrize("count", [10, 100, 1000])
+def test_bench_restrict_window(benchmark, count):
+    pool = ResourceSet(random_terms(count))
+
+    def restrict():
+        return pool.restrict(Interval(100, 300))
+
+    benchmark(restrict)
+
+
+@pytest.mark.parametrize("count", [10, 100])
+def test_bench_relative_complement(benchmark, count):
+    pool = ResourceSet(random_terms(count))
+    # claim half of everything, guaranteed dominated
+    claim = ResourceSet.from_profiles(
+        {lt: profile.scale(0.5) for lt, profile in pool.profiles().items()}
+    )
+
+    def complement():
+        return pool - claim
+
+    benchmark(complement)
+
+
+@pytest.mark.parametrize("count", [100, 1000])
+def test_bench_d1_quantity_query_profile_vs_termscan(benchmark, count, emit):
+    """Ablation D1: window-quantity via canonical profiles vs scanning the
+    raw term list; the profile answer must match and is what the library
+    uses everywhere."""
+    terms = random_terms(count)
+    pool = ResourceSet(terms)
+    window = Interval(100, 300)
+
+    def naive_scan():
+        total = 0
+        for item in terms:
+            if item.ltype != CPU1:
+                continue
+            common = item.window.intersection(window)
+            if not common.is_empty:
+                total += item.rate * common.duration
+        return total
+
+    expected = naive_scan()
+
+    def profile_query():
+        return pool.quantity(CPU1, window)
+
+    got = benchmark(profile_query)
+    assert got == expected

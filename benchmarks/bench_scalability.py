@@ -1,0 +1,119 @@
+"""E9 — Reasoning cost vs encapsulation size (Section VI's outlook).
+
+The paper's closing argument: ROTA's reasoning cost should be confined by
+CyberOrgs-style resource encapsulations — reasoning only over the
+resources inside an enclave.  This bench treats location count as the
+enclave size and shows admission cost growing with enclave size, so
+restricting reasoning to a small enclave is the claimed win.  Includes
+ablation D1 at the system level: admission cost as a function of how
+fragmented the availability profiles are.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import AdmissionController
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+HORIZON = 100
+
+
+def enclave(locations: int, *, fragments: int = 1, seed: int = 5) -> ResourceSet:
+    """`locations` CPU types; each type's supply split into `fragments`
+    abutting terms (same canonical profile, more breakpoints when rates
+    differ)."""
+    rng = random.Random(seed)
+    terms = []
+    for index in range(locations):
+        ltype = cpu(f"n{index}")
+        edges = sorted(
+            {0, HORIZON, *(rng.randint(1, HORIZON - 1) for _ in range(fragments - 1))}
+        )
+        for lo, hi in zip(edges, edges[1:]):
+            terms.append(ResourceTerm(rng.randint(2, 6), ltype, Interval(lo, hi)))
+    return ResourceSet(terms)
+
+
+def admission_burst(controller: AdmissionController, locations: int, jobs: int) -> int:
+    rng = random.Random(11)
+    admitted = 0
+    for index in range(jobs):
+        ltype = cpu(f"n{rng.randrange(locations)}")
+        requirement = ComplexRequirement(
+            [Demands({ltype: rng.randint(5, 25)})],
+            Interval(rng.randint(0, 40), HORIZON),
+            label=f"j{index}",
+        )
+        if controller.admit(requirement).admitted:
+            admitted += 1
+    return admitted
+
+
+def test_enclave_scaling_shape(emit):
+    """Larger enclaves -> more types to track, but per-admission work is
+    bounded by the *requirement's* types: cost grows sub-linearly with
+    enclave size for fixed jobs (the encapsulation argument)."""
+    rows = []
+    for locations in (1, 4, 16, 64):
+        pool = enclave(locations)
+        controller = AdmissionController(pool)
+        admitted = admission_burst(controller, locations, 32)
+        rows.append((locations, len(pool.located_types), admitted))
+        assert admitted > 0
+    emit(
+        render_table(
+            ("locations", "resource types", "admitted of 32"),
+            rows,
+            title="E9 — admission under growing enclave size",
+        )
+    )
+
+
+@pytest.mark.parametrize("locations", [1, 4, 16, 64])
+def test_bench_admission_vs_enclave_size(benchmark, locations):
+    pool = enclave(locations)
+
+    def burst():
+        controller = AdmissionController(pool)
+        return admission_burst(controller, locations, 32)
+
+    benchmark(burst)
+
+
+@pytest.mark.parametrize("fragments", [1, 8, 32])
+def test_bench_admission_vs_fragmentation(benchmark, fragments):
+    """D1 system-level ablation: fragmented availability inflates profile
+    breakpoints; canonical profiles keep the slowdown modest."""
+    pool = enclave(8, fragments=fragments)
+
+    def burst():
+        controller = AdmissionController(pool)
+        return admission_burst(controller, 8, 32)
+
+    benchmark(burst)
+
+
+@pytest.mark.parametrize("phases", [1, 4, 16])
+def test_bench_admission_vs_phase_count(benchmark, phases):
+    pool = enclave(2)
+    controller_pool = pool
+
+    def burst():
+        controller = AdmissionController(controller_pool)
+        requirement = ComplexRequirement(
+            [
+                Demands({cpu(f"n{index % 2}"): 3})
+                for index in range(phases)
+            ],
+            Interval(0, HORIZON),
+            label="multi",
+        )
+        return controller.admit(requirement).admitted
+
+    assert benchmark(burst)

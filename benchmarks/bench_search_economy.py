@@ -1,0 +1,117 @@
+"""E15 — The search economy (Section VI, final paragraph).
+
+"The prospect of tying resources required for reasoning with the size and
+complexity of the resource encapsulation ... for the purpose of
+empowering computations to choose encapsulation sizes is particularly
+attractive" — i.e. computations should spend search effort proportional
+to their value and give up on unprofitable pursuits.
+
+This bench sweeps the computation's value and reports the search outcome
+frontier: below the break-even threshold the search gives up (spending
+almost nothing); above it, placements succeed at bounded spend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import ComplexRequirement, Demands
+from repro.encapsulation import (
+    Enclave,
+    search_for_admission,
+    value_threshold,
+)
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+HORIZON = 100
+
+
+def build_hierarchy(width: int = 4) -> Enclave:
+    """A provider with `width` team enclaves, each owning one node."""
+    nodes = [cpu(f"n{i}") for i in range(width)]
+    root = Enclave.root(
+        ResourceSet(ResourceTerm(4, node, Interval(0, HORIZON)) for node in nodes)
+    )
+    for index, node in enumerate(nodes):
+        root.spawn(
+            f"team{index}",
+            ResourceSet.of(ResourceTerm(4, node, Interval(0, HORIZON))),
+        )
+    return root
+
+
+def job(node_index: int, units: int = 40) -> ComplexRequirement:
+    return ComplexRequirement(
+        [Demands({cpu(f"n{node_index}"): units})],
+        Interval(0, HORIZON),
+        label=f"job-n{node_index}",
+    )
+
+
+def test_value_frontier_shape(emit):
+    rows = []
+    threshold = value_threshold(build_hierarchy(), job(3))
+    assert threshold is not None
+    for value in (0, threshold / 2, threshold, threshold * 2, threshold * 10):
+        outcome = search_for_admission(
+            build_hierarchy(), job(3), value=value, commit=False
+        )
+        rows.append(
+            (value, outcome.admitted, outcome.gave_up, outcome.probes, outcome.spent)
+        )
+    # Below threshold: gives up without admission; at/above: succeeds.
+    assert [row[1] for row in rows] == [False, False, True, True, True]
+    assert rows[0][3] == 0  # zero value -> zero probes
+    # Spend never exceeds the declared value.
+    for value, _, _, _, spent in rows:
+        assert spent <= value or value == 0
+    emit(
+        render_table(
+            ("value", "admitted", "gave up", "probes", "search spend"),
+            rows,
+            title=f"E15 — value-bounded search (break-even = {threshold})",
+        )
+    )
+
+
+def test_unprofitable_pursuit_is_cheap(emit):
+    """The motivating behaviour: an infeasible/expensive pursuit costs a
+    bounded, small amount to abandon."""
+    hierarchy = build_hierarchy()
+    impossible = ComplexRequirement(
+        [Demands({cpu("n0"): 10_000})], Interval(0, HORIZON), label="hopeless"
+    )
+    outcome = search_for_admission(hierarchy, impossible, value=3, commit=False)
+    assert not outcome.admitted
+    assert outcome.spent <= 3
+    emit(
+        render_table(
+            ("pursuit", "value", "spend", "gave up"),
+            [("hopeless 10k-unit job", 3, outcome.spent, outcome.gave_up)],
+            title="E15 — abandoning an unprofitable pursuit",
+        )
+    )
+
+
+@pytest.mark.parametrize("width", [2, 8, 32])
+def test_bench_search_scaling(benchmark, width):
+    requirement = job(width - 1)
+
+    def run():
+        return search_for_admission(
+            build_hierarchy(width), requirement, value=10_000, commit=False
+        )
+
+    outcome = benchmark(run)
+    assert outcome.admitted
+
+
+def test_bench_value_threshold(benchmark):
+    requirement = job(2)
+
+    def run():
+        return value_threshold(build_hierarchy(), requirement)
+
+    assert benchmark(run) is not None

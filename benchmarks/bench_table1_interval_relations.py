@@ -1,0 +1,79 @@
+"""E1 — Table I: Allen's interval relations.
+
+Regenerates the paper's Table I (relation, interpretation, witness) by
+exhaustive enumeration over an integer endpoint grid, and benchmarks both
+``relate`` and the derivation of the 13x13 composition table the algebra
+substrate builds on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.intervals import (
+    ALL_RELATIONS,
+    BASE_RELATIONS,
+    INTERPRETATION,
+    Interval,
+    converse,
+    relate,
+)
+from repro.intervals.algebra import _grid_intervals, composition_table
+from repro.analysis import render_table
+
+GRID = [Interval(a, b) for a in range(6) for b in range(a + 1, 7)]
+
+
+def regenerate_table1() -> str:
+    """The paper's Table I, with a concrete witness pair per relation."""
+    witnesses = {}
+    for i, j in itertools.product(GRID, repeat=2):
+        witnesses.setdefault(relate(i, j), (i, j))
+    rows = [
+        (
+            relation.value,
+            INTERPRETATION[relation],
+            f"{witnesses[relation][0]} vs {witnesses[relation][1]}",
+            "base" if relation in BASE_RELATIONS else "inverse",
+        )
+        for relation in ALL_RELATIONS
+    ]
+    return render_table(
+        ("symbol", "interpretation", "witness", "kind"),
+        rows,
+        title="Table I — interval relations (7 base + 6 inverses)",
+    )
+
+
+def test_table1_shape(emit):
+    """All thirteen relations are realised, exactly one per pair, and the
+    inverse structure matches the paper's '7 or 13' accounting."""
+    seen = {relate(i, j) for i, j in itertools.product(GRID, repeat=2)}
+    assert seen == set(ALL_RELATIONS)
+    assert len(BASE_RELATIONS) == 7
+    assert {converse(r) for r in ALL_RELATIONS} == set(ALL_RELATIONS)
+    emit(regenerate_table1())
+
+
+def test_bench_relate(benchmark):
+    pairs = list(itertools.product(GRID, repeat=2))
+
+    def classify_all():
+        return [relate(i, j) for i, j in pairs]
+
+    result = benchmark(classify_all)
+    assert len(result) == len(pairs)
+
+
+def test_bench_composition_table_derivation(benchmark):
+    def derive():
+        composition_table.cache_clear()
+        return composition_table()
+
+    table = benchmark(derive)
+    assert len(table) == 169
+
+
+def test_bench_grid_enumeration(benchmark):
+    grid = benchmark(_grid_intervals)
+    assert len(grid) > 0

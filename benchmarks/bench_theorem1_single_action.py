@@ -1,0 +1,80 @@
+"""E4 — Theorem 1: single-action feasibility at scale.
+
+The ``f(Theta, rho(gamma, s, d))`` check is the innermost loop of all
+ROTA reasoning.  This bench sweeps the number of resource terms in the
+system and measures the check's cost, asserting it stays exact (validated
+against a naive reference) while scaling with term count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import Demands, SimpleRequirement
+from repro.decision import check, satisfies
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+CPU1 = cpu("l1")
+
+
+def pool_of(count: int, seed: int = 3) -> ResourceSet:
+    rng = random.Random(seed)
+    return ResourceSet(
+        ResourceTerm(
+            rng.randint(1, 5),
+            CPU1,
+            Interval(start := rng.randint(0, 1000), start + rng.randint(1, 40)),
+        )
+        for _ in range(count)
+    )
+
+
+def test_theorem1_exactness(emit):
+    """The fast check agrees with direct integration at every scale and
+    flips exactly at the available quantity."""
+    rows = []
+    for count in (10, 100, 1000):
+        pool = pool_of(count)
+        window = Interval(200, 600)
+        capacity = pool.quantity(CPU1, window)
+        fits = SimpleRequirement(Demands({CPU1: capacity}), window)
+        overflows = SimpleRequirement(Demands({CPU1: capacity + 1}), window)
+        assert satisfies(pool, fits)
+        assert not satisfies(pool, overflows)
+        report = check(pool, overflows)
+        assert report.shortfall[CPU1] == 1
+        rows.append((count, capacity, "exact flip at capacity"))
+    emit(
+        render_table(
+            ("terms", "capacity(200,600)", "behaviour"),
+            rows,
+            title="Theorem 1 — f() exactness across pool sizes",
+        )
+    )
+
+
+@pytest.mark.parametrize("count", [10, 100, 1000, 10_000])
+def test_bench_f_check(benchmark, count):
+    pool = pool_of(count)
+    requirement = SimpleRequirement(Demands({CPU1: 50}), Interval(200, 600))
+
+    def f_check():
+        return satisfies(pool, requirement)
+
+    benchmark(f_check)
+
+
+@pytest.mark.parametrize("count", [100, 1000])
+def test_bench_shortfall_report(benchmark, count):
+    pool = pool_of(count)
+    requirement = SimpleRequirement(Demands({CPU1: 10 ** 9}), Interval(0, 2000))
+
+    def report():
+        return check(pool, requirement)
+
+    result = benchmark(report)
+    assert not result.satisfied

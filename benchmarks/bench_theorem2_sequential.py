@@ -1,0 +1,88 @@
+"""E5 — Theorem 2: sequential accommodation (breakpoint search).
+
+Sweeps phase count m and measures the greedy witness search, asserting
+(a) agreement with the exhaustive transition-tree oracle on divisible
+instances and (b) near-linear growth in m — the paper's "complexity is
+obviously high" applies to the naive tree, not to the witness search.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import find_schedule, sequential_feasible
+from repro.decision.sequential import is_feasible
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu, network
+from repro.workloads import oracle_instance
+
+CPU1, CPU2, NET = cpu("l1"), cpu("l2"), network("l1", "l2")
+
+
+def chain(phases: int, horizon: int) -> tuple[ResourceSet, ComplexRequirement]:
+    """A CPU/NET alternating chain of `phases` phases that exactly fits."""
+    pool = ResourceSet.of(
+        ResourceTerm(2, CPU1, Interval(0, horizon)),
+        ResourceTerm(2, NET, Interval(0, horizon)),
+    )
+    demands = [
+        Demands({CPU1 if index % 2 == 0 else NET: 2 * max(1, horizon // phases // 1)})
+        for index in range(phases)
+    ]
+    requirement = ComplexRequirement(demands, Interval(0, horizon), label="chain")
+    return pool, requirement
+
+
+def test_theorem2_oracle_agreement(emit):
+    rng = random.Random(42)
+    agreements = 0
+    trials = 40
+    for _ in range(trials):
+        instance = oracle_instance(rng, [CPU1, CPU2], max_actors=1, horizon=8)
+        component = instance.requirement.components[0]
+        fast = is_feasible(instance.available, component)
+        slow = sequential_feasible(instance.available, component)
+        assert fast == slow
+        agreements += 1
+    emit(
+        render_table(
+            ("trials", "agreements"),
+            [(trials, agreements)],
+            title="Theorem 2 — greedy vs exhaustive oracle (divisible instances)",
+        )
+    )
+
+
+def test_theorem2_witness_validity():
+    pool, requirement = chain(8, 64)
+    schedule = find_schedule(pool, requirement)
+    assert schedule is not None
+    for simple in requirement.decompose(list(schedule.breakpoints)):
+        assert simple.satisfied_by(pool)
+
+
+@pytest.mark.parametrize("phases", [2, 4, 8, 16, 32, 64])
+def test_bench_breakpoint_search(benchmark, phases):
+    pool, requirement = chain(phases, 256)
+
+    def search():
+        return find_schedule(pool, requirement)
+
+    schedule = benchmark(search)
+    assert schedule is not None
+
+
+@pytest.mark.parametrize("phases", [2, 3, 4])
+def test_bench_oracle_cost_for_contrast(benchmark, phases):
+    """The exhaustive oracle on the same shapes — the exponential
+    alternative the analytic procedure replaces."""
+    pool, requirement = chain(phases, 8)
+
+    def oracle():
+        return sequential_feasible(pool, requirement)
+
+    benchmark(oracle)

@@ -1,0 +1,115 @@
+"""E6 — Theorem 3: meet-deadline path existence.
+
+Compares the three readings of "the computation can be completed by d":
+the greedy canonical branch, the exhaustive tree search, and the analytic
+admission check — asserting they agree on the generated instances — and
+measures how tree size explodes with contention while the analytic check
+stays flat (ablation D3: the decision procedures are Delta-t independent).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import AdmissionController
+from repro.intervals import Interval
+from repro.logic import (
+    accommodate,
+    enumerate_paths,
+    exists_path,
+    greedy_path,
+    initial_state,
+)
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+CPU1 = cpu("l1")
+
+
+def contended_state(actors: int, horizon: int):
+    """`actors` jobs sharing rate-2 CPU, total demand = total capacity."""
+    pool = ResourceSet.of(ResourceTerm(2, CPU1, Interval(0, horizon)))
+    state = initial_state(pool, 0)
+    share = 2 * horizon // actors
+    for index in range(actors):
+        state = accommodate(
+            state,
+            ComplexRequirement(
+                [Demands({CPU1: share})], Interval(0, horizon), f"c{index}"
+            ),
+        )
+    return state, [f"c{index}" for index in range(actors)]
+
+
+def test_theorem3_three_readings_agree(emit):
+    rows = []
+    for actors, horizon in ((1, 6), (2, 6), (3, 6)):
+        state, labels = contended_state(actors, horizon)
+
+        greedy_ok = all(greedy_path(state, horizon, 1).completes(l) for l in labels)
+        tree_ok = (
+            exists_path(state, horizon, lambda p: all(p.completes(l) for l in labels))
+            is not None
+        )
+        controller = AdmissionController(state.theta)
+        analytic_ok = all(
+            controller.admit(progress.requirement).admitted for progress in state.rho
+        )
+        assert greedy_ok == tree_ok == analytic_ok == True  # noqa: E712
+        rows.append((actors, horizon, greedy_ok, tree_ok, analytic_ok))
+    emit(
+        render_table(
+            ("actors", "horizon", "greedy", "tree", "analytic"),
+            rows,
+            title="Theorem 3 — path existence, three implementations",
+        )
+    )
+
+
+def test_theorem3_negative_case_agrees():
+    pool = ResourceSet.of(ResourceTerm(2, CPU1, Interval(0, 4)))
+    req = ComplexRequirement([Demands({CPU1: 9})], Interval(0, 4), "g")
+    state = accommodate(initial_state(pool, 0), req)
+    assert not greedy_path(state, 4, 1).completes("g")
+    assert exists_path(state, 4, lambda p: p.completes("g")) is None
+    assert not AdmissionController(pool).can_admit(req).admitted
+
+
+@pytest.mark.parametrize("actors", [1, 2, 3])
+def test_bench_tree_enumeration(benchmark, actors):
+    state, _ = contended_state(actors, 5)
+
+    def enumerate_all():
+        return sum(1 for _ in enumerate_paths(state, 5, 1))
+
+    count = benchmark(enumerate_all)
+    assert count >= 1
+
+
+@pytest.mark.parametrize("actors", [1, 2, 3, 8, 16])
+def test_bench_analytic_alternative(benchmark, actors):
+    """The admission check answers the same question without the tree."""
+    state, _ = contended_state(actors, 16)
+
+    def analytic():
+        controller = AdmissionController(state.theta)
+        return [
+            controller.admit(progress.requirement).admitted
+            for progress in state.rho
+        ]
+
+    verdicts = benchmark(analytic)
+    assert all(verdicts)
+
+
+@pytest.mark.parametrize("dt", [1, 2])
+def test_bench_dt_sensitivity_of_greedy_path(benchmark, dt):
+    """D3: execution granularity changes step count, not the verdict."""
+    state, labels = contended_state(2, 8)
+
+    def follow():
+        return greedy_path(state, 8, dt)
+
+    path = benchmark(follow)
+    assert all(path.completes(label) for label in labels)

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one artifact of the paper (table,
+figure, worked example, or theorem-level claim — see DESIGN.md's
+experiment index).  Files follow one convention:
+
+* shape assertions verify the qualitative result (who wins, what order),
+* ``benchmark(...)`` times the core operation so regressions surface,
+* a rendered table is attached to ``benchmark.extra_info`` and printed,
+  so ``pytest benchmarks/ --benchmark-only -s`` reproduces the artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import policy_table, score
+from repro.baselines import ALL_POLICIES, RotaAdmission
+from repro.system import OpenSystemSimulator, ReservationPolicy
+
+
+def run_policy(policy_cls, scenario):
+    """One simulation run of one policy over a scenario."""
+    policy = policy_cls()
+    alloc = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+    simulator = OpenSystemSimulator(
+        policy,
+        initial_resources=scenario.initial_resources,
+        allocation_policy=alloc,
+    )
+    simulator.schedule(*scenario.events)
+    return simulator.run(scenario.horizon)
+
+
+def run_all_policies(scenario):
+    """Reports for every policy on identical event streams."""
+    return {cls.name: run_policy(cls, scenario) for cls in ALL_POLICIES}
+
+
+def comparison_table(scenario) -> str:
+    reports = run_all_policies(scenario)
+    return policy_table(
+        [score(r) for r in reports.values()],
+        title=f"scenario={scenario.name} horizon={scenario.horizon}",
+    )
+
+
+@pytest.fixture
+def emit():
+    """Print a regenerated artifact so `-s` runs show it."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+
+    return _emit

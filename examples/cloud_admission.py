@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Cloud admission control: ROTA vs the related-work baselines.
+
+A provider runs a 4-node full-mesh cluster.  Deadline-constrained jobs
+arrive over two hours of simulated time; each admission policy sees the
+identical stream, the simulator executes whatever each admits, and the
+final table shows the trade-off the paper argues for: only temporal
+reasoning about *future* availability gives deadline assurance
+(precision 1.0) without leaving the cluster idle.
+
+Run:  python examples/cloud_admission.py
+"""
+
+from repro.analysis import policy_table, score
+from repro.baselines import ALL_POLICIES, RotaAdmission
+from repro.system import OpenSystemSimulator, ReservationPolicy
+from repro.workloads import cloud_scenario
+
+
+def main() -> None:
+    scenario = cloud_scenario(seed=7, nodes=4, horizon=120, arrival_rate=0.4)
+    arrivals = sum(1 for _ in scenario.events)
+    print(
+        f"Scenario '{scenario.name}': {arrivals} job arrivals over "
+        f"{scenario.horizon} time units on a 4-node cluster.\n"
+    )
+
+    scores = []
+    for policy_cls in ALL_POLICIES:
+        policy = policy_cls()
+        # ROTA commits witness schedules; the reservation executor follows
+        # them.  Baselines have no witnesses and execute EDF.
+        allocation = (
+            ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+        )
+        simulator = OpenSystemSimulator(
+            policy,
+            initial_resources=scenario.initial_resources,
+            allocation_policy=allocation,
+        )
+        simulator.schedule(*scenario.events)
+        report = simulator.run(scenario.horizon)
+        scores.append(score(report))
+
+        if isinstance(policy, RotaAdmission):
+            rejected = [r for r in report.records if not r.admitted][:3]
+            if rejected:
+                print("Sample ROTA rejections (with reasons):")
+                for record in rejected:
+                    print(f"   {record.label}: {record.rejection_reason}")
+                print()
+
+    print(policy_table(scores, title="policy comparison — cloud scenario"))
+    rota = next(s for s in scores if s.policy == "rota")
+    assert rota.missed == 0, "ROTA must never miss an admitted deadline"
+    print(
+        "\nROTA admitted"
+        f" {rota.admitted}/{rota.arrivals} arrivals and missed 0 deadlines."
+    )
+
+
+if __name__ == "__main__":
+    main()

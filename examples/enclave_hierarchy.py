@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Resource encapsulations: confining ROTA reasoning (Section VI).
+
+The paper closes by proposing to use ROTA inside CyberOrgs-style resource
+encapsulations, "where the reasoning only needs to concern itself with
+resources available inside the encapsulation".  This example builds a
+two-level organisation — a provider root with per-team enclaves — and
+walks through the lifecycle: spawn with an allotment, admit locally,
+overflow into the hierarchy, migrate a pending job between teams, and
+dissolve a team returning its unused slack.
+
+Run:  python examples/enclave_hierarchy.py
+"""
+
+from repro import ComplexRequirement, Demands, Interval, ResourceSet, cpu, term
+from repro.encapsulation import Enclave
+
+HORIZON = 100
+
+
+def job(label, node, units, start=0, deadline=HORIZON):
+    return ComplexRequirement(
+        [Demands({cpu(node): units})], Interval(start, deadline), label=label
+    )
+
+
+def main() -> None:
+    # Provider capacity: 10 cpu/s on each of two nodes for (0,100).
+    root = Enclave.root(
+        ResourceSet.of(term(10, cpu("n1"), 0, HORIZON), term(10, cpu("n2"), 0, HORIZON)),
+        name="provider",
+    )
+
+    # Two teams get disjoint slices; the provider keeps the rest.
+    analytics = root.spawn(
+        "analytics", ResourceSet.of(term(6, cpu("n1"), 0, HORIZON))
+    )
+    batch = root.spawn("batch", ResourceSet.of(term(6, cpu("n2"), 0, HORIZON)))
+    print("Tree:", [e.name for e in root.walk()])
+    print(f"provider slack on n1 after allotments: {root.slack.rate_at(cpu('n1'), 0)}/s\n")
+
+    # Local admission: reasoning touches only the team's slice.
+    print("analytics admits a 300-unit job:",
+          analytics.admit(job("etl", "n1", 300)).admitted)
+    print("analytics admits another 300:",
+          analytics.admit(job("ml", "n1", 300)).admitted)
+    verdict = analytics.can_admit(job("extra", "n1", 200))
+    print("analytics has room for 200 more:", verdict.admitted,
+          f"({verdict.reason})")
+
+    # Overflow: search the hierarchy ("seek out new frontiers").
+    placed = root.admit_anywhere(job("spill", "n1", 200))
+    print("admit_anywhere placed 'spill' in:",
+          placed.name if placed else "nowhere")
+
+    # Migration between enclaves (valid while the job hasn't started).
+    future_job = job("tomorrow", "n2", 100, start=50)
+    assert batch.admit(future_job).admitted
+    decision = batch.migrate("tomorrow", root)
+    print("\nmigrate 'tomorrow' from batch to provider root:", decision.admitted)
+    print("batch admitted labels:", batch.controller.admitted_labels)
+    print("root admitted labels:", root.controller.admitted_labels)
+
+    # Dissolution returns unclaimed slack to the parent.
+    recovered = root.dissolve("batch")
+    print(f"\ndissolved 'batch'; recovered {recovered.quantity(cpu('n2'), Interval(0, HORIZON))} "
+          f"units of n2 slack")
+    print("provider n2 slack rate now:", root.slack.rate_at(cpu("n2"), 0), "/s")
+
+
+if __name__ == "__main__":
+    main()

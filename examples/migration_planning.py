@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Migration planning: choosing between courses of action with ROTA.
+
+The paper's conclusion: deadline reasoning "can be useful for
+computations choosing between various courses of action, allowing them to
+avoid attempting infeasible pursuits", and its future work asks about an
+actor that "could continue to execute at its current location or migrate
+elsewhere".  This example does exactly that comparison: the same logical
+work expressed as two behaviours — stay at a congested node, or pay the
+migration cost to a quiet one — evaluated against the same resource
+picture before committing to either.
+
+Run:  python examples/migration_planning.py
+"""
+
+from repro import (
+    Actor,
+    AdmissionController,
+    Evaluate,
+    Migrate,
+    Node,
+    Placement,
+    ResourceSet,
+    cpu,
+    network,
+    sequential,
+    term,
+)
+
+
+def build_resources(busy: Node, quiet: Node) -> ResourceSet:
+    """The busy node has little spare CPU; the quiet one is mostly idle;
+    the link between them has moderate bandwidth."""
+    return ResourceSet.of(
+        term(1, cpu(busy), 0, 30),        # congested: 1 unit/s spare
+        term(6, cpu(quiet), 0, 30),       # idle: 6 units/s
+        term(2, network(busy, quiet), 0, 30),
+    )
+
+
+def plan(label: str, actor: Actor, deadline: int, pool: ResourceSet):
+    job = sequential(actor, 0, deadline, name=label)
+    requirement = job.requirement(placement=Placement({actor.name: actor.home}))
+    controller = AdmissionController(pool)
+    decision = controller.can_admit(requirement)
+    finish = (
+        decision.schedule.finish_time if decision.admitted else None
+    )
+    return decision.admitted, finish
+
+
+def main() -> None:
+    busy, quiet = Node("busy"), Node("quiet")
+    pool = build_resources(busy, quiet)
+    deadline = 20
+    work = 4  # 4 x 8 = 32 CPU units of evaluation
+
+    stay = Actor("worker-stay", busy, (Evaluate("analysis", work=work),))
+    move = Actor(
+        "worker-move",
+        busy,
+        (Migrate(quiet, size=2), Evaluate("analysis", work=work)),
+    )
+
+    print(f"Work: {work * 8} CPU units, deadline t={deadline}.\n")
+    print("Option A — stay on the congested node:")
+    ok_stay, finish_stay = plan("stay", stay, deadline, pool)
+    print(f"   feasible? {ok_stay}" + (f", finish at t={finish_stay}" if ok_stay else ""))
+
+    print("Option B — migrate (6 cpu + 12 net + 6 cpu) then compute:")
+    ok_move, finish_move = plan("move", move, deadline, pool)
+    print(f"   feasible? {ok_move}" + (f", finish at t={finish_move}" if ok_move else ""))
+
+    assert not ok_stay, "staying should be infeasible: 32 units at 1/s > 20s"
+    assert ok_move, "migrating should be feasible"
+    print(
+        "\nROTA verdict: staying is an infeasible pursuit (32 units at 1/s "
+        "cannot finish by t=20); migrating pays 24 units of overhead but "
+        f"still finishes at t={finish_move} <= {deadline}."
+    )
+
+    # Tighten the deadline until even migration stops being viable.
+    print("\nDeadline sweep (the crossover where no plan is assured):")
+    for d in (20, 14, 12, 10, 8):
+        ok_a, _ = plan(f"stay@{d}", stay, d, pool)
+        ok_b, _ = plan(f"move@{d}", move, d, pool)
+        print(f"   d={d:>2}: stay={'yes' if ok_a else 'no ':<3} migrate={'yes' if ok_b else 'no'}")
+
+
+if __name__ == "__main__":
+    main()

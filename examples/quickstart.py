@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's headline question, answered.
+
+    "Can we know at time T whether a distributed multi-agent computation
+     A can complete its execution by deadline D?"
+
+We describe resources as resource terms ``[rate]_{<kind, location>}^{(start, end)}``,
+describe a computation by the resources each step needs, and ask the
+admission controller — before running anything.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Actor,
+    AdmissionController,
+    ComplexRequirement,
+    Demands,
+    Evaluate,
+    Interval,
+    Migrate,
+    Node,
+    Placement,
+    ResourceSet,
+    Send,
+    cpu,
+    network,
+    sequential,
+    term,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Resources in time and space (Section III).
+    #    5 CPU/s at l1 for (0,10); a 2-unit/s link l1->l2 for (2,8).
+    # ------------------------------------------------------------------
+    l1, l2 = Node("l1"), Node("l2")
+    cluster = ResourceSet.of(
+        term(5, cpu(l1), 0, 10),
+        term(2, network(l1, l2), 2, 10),
+        term(4, cpu(l2), 0, 10),
+    )
+    print("System resources:")
+    for resource_term in cluster.terms():
+        print(f"   {resource_term}")
+
+    # ------------------------------------------------------------------
+    # 2. A computation as its resource requirements (Section IV).
+    #    An actor evaluates at l1, migrates to l2, evaluates there.
+    # ------------------------------------------------------------------
+    actor = Actor(
+        "a1",
+        l1,
+        (
+            Evaluate("preprocess"),          # 8 cpu at l1
+            Send("a2"),                      # 4 network l1 -> l2
+            Migrate(l2),                     # 3 cpu@l1 + 6 net + 3 cpu@l2
+            Evaluate("analyse"),             # 8 cpu at l2
+        ),
+    )
+    job = sequential(actor, 0, 10, name="analysis-job")
+    requirement = job.requirement(placement=Placement({"a1": l1, "a2": l2}))
+    component = requirement.components[0]
+    print(f"\nDerived requirement ({component.phase_count} ordered phases):")
+    for index, phase in enumerate(component.phases, 1):
+        print(f"   phase {index}: {phase}")
+
+    # ------------------------------------------------------------------
+    # 3. Ask the question at time T=0 (Theorems 2 & 4).
+    # ------------------------------------------------------------------
+    controller = AdmissionController(cluster)
+    decision = controller.admit(requirement)
+    print(f"\nCan 'analysis-job' finish by t=10?  -> {decision.admitted}")
+    if decision.admitted:
+        schedule = decision.schedule.schedules[0]
+        print(f"   witness breakpoints: {[str(b) for b in schedule.breakpoints]}")
+        print(f"   predicted finish:    t={schedule.finish_time}")
+
+    # ------------------------------------------------------------------
+    # 4. One more computation? (the Section IV-B question)
+    # ------------------------------------------------------------------
+    extra = ComplexRequirement(
+        [Demands({cpu(l1): 20})], Interval(0, 10), label="batch"
+    )
+    verdict = controller.can_admit(extra)
+    print(f"\nRoom for a 20-unit batch job too?  -> {verdict.admitted}")
+    if not verdict.admitted:
+        print(f"   reason: {verdict.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Navigating resource uncertainty: search budgets and retries.
+
+Two behaviours the paper motivates, composed:
+
+* a computation decides **how much to spend searching** an enclave
+  hierarchy for resources before giving up (Section VI's closing
+  paragraph), and
+* a rejected computation **retries when new resources join** — "the
+  dynamicity that makes opportunities visible at runtime" (Section I).
+
+Run:  python examples/resource_search.py
+"""
+
+from repro import ComplexRequirement, Demands, Interval, ResourceSet, cpu, term
+from repro.baselines import RetryingPolicy, RotaAdmission
+from repro.encapsulation import (
+    Enclave,
+    search_for_admission,
+    value_threshold,
+)
+from repro.system import OpenSystemSimulator, ReservationPolicy, arrival, resource_join
+
+HORIZON = 60
+
+
+def search_demo() -> None:
+    print("=== value-bounded search over an enclave hierarchy ===")
+    root = Enclave.root(
+        ResourceSet.of(
+            term(4, cpu("n0"), 0, HORIZON),
+            term(4, cpu("n1"), 0, HORIZON),
+            term(4, cpu("n2"), 0, HORIZON),
+        )
+    )
+    for index in range(3):
+        root.spawn(
+            f"team{index}",
+            ResourceSet.of(term(4, cpu(f"n{index}"), 0, HORIZON)),
+        )
+    job = ComplexRequirement(
+        [Demands({cpu("n2"): 60})], Interval(0, HORIZON), label="render"
+    )
+    breakeven = value_threshold(root, job)
+    print(f"break-even search spend for 'render': {breakeven}")
+    for value in (breakeven - 1, breakeven, 5 * breakeven):
+        outcome = search_for_admission(root, job, value=value, commit=False)
+        verdict = (
+            f"placed in {outcome.enclave.name}" if outcome.admitted
+            else ("gave up (unprofitable)" if outcome.gave_up else "exhausted")
+        )
+        print(
+            f"   value={value:>5}: {verdict}; probes={outcome.probes}, "
+            f"spend={outcome.spent}"
+        )
+
+
+def retry_demo() -> None:
+    print("\n=== retrying when new resources join ===")
+    policy = RetryingPolicy(RotaAdmission())
+    simulator = OpenSystemSimulator(
+        policy,
+        initial_resources=ResourceSet.of(term(1, cpu("n0"), 0, HORIZON)),
+        allocation_policy=ReservationPolicy(),
+    )
+    simulator.schedule(
+        arrival(
+            0,
+            ComplexRequirement(
+                [Demands({cpu("n0"): 30})], Interval(0, 25), label="patient"
+            ),
+        ),
+        resource_join(10, ResourceSet.of(term(2, cpu("n0"), 10, 50))),
+    )
+    report = simulator.run(HORIZON)
+    record = report.record_of("patient")
+    print(f"'patient' needs 30 units by t=25; base capacity is 1/s (too thin).")
+    print(f"   outcome: {record.outcome} (admitted on retry: "
+          f"{'patient' in policy.late_admissions})")
+    print(f"   deadline misses in the whole run: {report.missed}")
+
+
+if __name__ == "__main__":
+    search_demo()
+    retry_demo()

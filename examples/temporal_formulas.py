@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Model checking ROTA formulas over computation paths.
+
+Section V's semantics in action: build a system state, commit a
+computation, unfold the canonical path, and evaluate well-formed
+formulas — ``satisfy``, negation, ``eventually`` (can the newcomer be
+accommodated at some later time?) and ``always`` — exactly the temporal
+properties the paper closes Section V with.
+
+Run:  python examples/temporal_formulas.py
+"""
+
+from repro import (
+    ComplexRequirement,
+    Demands,
+    Interval,
+    ResourceSet,
+    cpu,
+    eventually,
+    models,
+    satisfy,
+    term,
+)
+from repro.logic import (
+    accommodate,
+    always,
+    exists_on_some_path,
+    greedy_path,
+    holds_on_all_paths,
+    initial_state,
+)
+
+CPU1 = cpu("l1")
+
+
+def main() -> None:
+    # 2 CPU/s for (0,12); a committed job eats 10 units greedily.
+    pool = ResourceSet.of(term(2, CPU1, 0, 12))
+    committed = ComplexRequirement(
+        [Demands({CPU1: 10})], Interval(0, 12), label="committed"
+    )
+    state = accommodate(initial_state(pool, 0), committed)
+    path = greedy_path(state, 12, 1)
+
+    print("System: 2 cpu/s over (0,12); 'committed' consumes 10 units.")
+    print(f"Canonical path visits times {path.times}.\n")
+
+    newcomer = ComplexRequirement(
+        [Demands({CPU1: 10})], Interval(0, 12), label="newcomer"
+    )
+    tight = ComplexRequirement(
+        [Demands({CPU1: 15})], Interval(0, 12), label="greedy-newcomer"
+    )
+
+    checks = [
+        ("satisfy(newcomer: 10 units by 12)", satisfy(newcomer)),
+        ("satisfy(greedy-newcomer: 15 units)", satisfy(tight)),
+        ("not satisfy(greedy-newcomer)", ~satisfy(tight)),
+        ("eventually satisfy(newcomer)", eventually(satisfy(newcomer))),
+        ("always satisfy(newcomer)", always(satisfy(newcomer))),
+    ]
+    print("M, sigma, 0 |= ...")
+    for label, formula in checks:
+        print(f"   {label:<40} -> {models(path, 0, formula)}")
+
+    # Branching reading: over ALL evolutions of the tree, not just the
+    # canonical branch.
+    print("\nBranching-time helpers over the evolution tree:")
+    witness = exists_on_some_path(state, 12, satisfy(newcomer))
+    print(f"   E sigma . satisfy(newcomer)  -> {witness is not None}")
+    universal = holds_on_all_paths(state, 12, satisfy(newcomer))
+    print(f"   A sigma . satisfy(newcomer)  -> {universal}")
+    print(
+        "\nReading: on every evolution the committed job either runs (freeing"
+        "\nlater capacity) or lets capacity expire (usable immediately); either"
+        "\nway 10 units remain for the newcomer — accommodation is assured."
+    )
+
+
+def branching_time_demo() -> None:
+    """CTL-style operators over the whole evolution tree (extension)."""
+    from repro.computation import SimpleRequirement
+    from repro.logic import AF, AG, EF, StateAtom, check_tree
+
+    pool = ResourceSet.of(term(1, CPU1, 0, 4))
+    state = accommodate(
+        initial_state(pool, 0),
+        ComplexRequirement([Demands({CPU1: 3})], Interval(0, 4), label="a"),
+    )
+    state = accommodate(
+        state, ComplexRequirement([Demands({CPU1: 3})], Interval(0, 4), label="b")
+    )
+
+    def finished(label):
+        def predicate(s):
+            return s.progress_of(label).is_complete
+
+        return predicate
+
+    print("\nBranching-time operators (capacity 4, two 3-unit jobs):")
+    print(f"   EF done(a): {check_tree(state, EF(finished('a')), 4)}"
+          "   (some evolution finishes a)")
+    print(f"   AF done(a): {check_tree(state, AF(finished('a')), 4)}"
+          "   (but not every evolution does)")
+    atom = StateAtom(SimpleRequirement(Demands({CPU1: 1}), Interval(0, 4)))
+    print(f"   AG satisfy(1 unit): {check_tree(state, AG(atom), 4)}"
+          "   (the over-subscribed system cannot always take more)")
+
+
+if __name__ == "__main__":
+    main()
+    branching_time_demo()

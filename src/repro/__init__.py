@@ -1,0 +1,143 @@
+"""ROTA: a resource-oriented temporal logic for deadline assurance.
+
+Reproduction of *"Temporal Reasoning about Resources for Deadline
+Assurance in Distributed Systems"* (Zhao & Jamali, ICDCS 2010).
+
+The library answers the paper's motivating question — *"Can we know at
+time T whether a distributed multi-agent computation A can complete its
+execution by deadline D?"* — with executable machinery:
+
+* :mod:`repro.intervals` — Allen Interval Algebra over time intervals.
+* :mod:`repro.resources` — resource terms ``[r]_{xi}^{tau}`` and sets.
+* :mod:`repro.computation` — actors, the cost function ``Phi``, and the
+  requirement levels ``rho(gamma/Gamma/Lambda, s, d)``.
+* :mod:`repro.logic` — states, transition rules, formulas, paths, and the
+  satisfaction relation (the logic itself).
+* :mod:`repro.decision` — decision procedures for Theorems 1-4.
+* :mod:`repro.system` — an open-system discrete-event simulator.
+* :mod:`repro.baselines` — related-work admission policies for comparison.
+* :mod:`repro.workloads` / :mod:`repro.analysis` — synthetic evaluation.
+
+Quickstart::
+
+    from repro import (
+        AdmissionController, ComplexRequirement, Demands, Interval,
+        ResourceSet, cpu, term,
+    )
+
+    cluster = ResourceSet.of(term(5, cpu("l1"), 0, 10))
+    job = ComplexRequirement([Demands({cpu("l1"): 30})], Interval(0, 8),
+                             label="job")
+    controller = AdmissionController(cluster)
+    decision = controller.admit(job)
+    assert decision.admitted   # 30 units fit within (0, 8) at rate 5
+"""
+
+from repro.computation import (
+    Actor,
+    ActorComputation,
+    ComplexRequirement,
+    Computation,
+    ConcurrentRequirement,
+    Create,
+    DEFAULT_COST_MODEL,
+    Demands,
+    Evaluate,
+    Migrate,
+    Placement,
+    Ready,
+    Send,
+    SimpleRequirement,
+    StandardCostModel,
+    concurrent,
+    sequential,
+)
+from repro.decision import (
+    AdmissionController,
+    AdmissionDecision,
+    ConcurrentSchedule,
+    Schedule,
+    find_concurrent_schedule,
+    find_schedule,
+)
+from repro.intervals import Interval, IntervalSet, Relation, relate
+from repro.logic import (
+    ComputationPath,
+    RotaModel,
+    SystemState,
+    always,
+    eventually,
+    models,
+    satisfy,
+)
+from repro.resources import (
+    Link,
+    LocatedType,
+    Node,
+    RateProfile,
+    ResourceSet,
+    ResourceTerm,
+    cpu,
+    located,
+    memory,
+    network,
+    resources,
+    term,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # computation
+    "Actor",
+    "ActorComputation",
+    "ComplexRequirement",
+    "Computation",
+    "ConcurrentRequirement",
+    "Create",
+    "DEFAULT_COST_MODEL",
+    "Demands",
+    "Evaluate",
+    "Migrate",
+    "Placement",
+    "Ready",
+    "Send",
+    "SimpleRequirement",
+    "StandardCostModel",
+    "concurrent",
+    "sequential",
+    # decision
+    "AdmissionController",
+    "AdmissionDecision",
+    "ConcurrentSchedule",
+    "Schedule",
+    "find_concurrent_schedule",
+    "find_schedule",
+    # intervals
+    "Interval",
+    "IntervalSet",
+    "Relation",
+    "relate",
+    # logic
+    "ComputationPath",
+    "RotaModel",
+    "SystemState",
+    "always",
+    "eventually",
+    "models",
+    "satisfy",
+    # resources
+    "Link",
+    "LocatedType",
+    "Node",
+    "RateProfile",
+    "ResourceSet",
+    "ResourceTerm",
+    "cpu",
+    "located",
+    "memory",
+    "network",
+    "resources",
+    "term",
+    "__version__",
+]

@@ -1,0 +1,119 @@
+"""Post-hoc auditing of simulation reports.
+
+The simulator's transition rules already validate each step; the auditor
+closes the loop at run level, checking global invariants any correct
+execution must satisfy:
+
+* **conservation** — per located type, offered = consumed + expired
+  (modulo numerically-negligible dust); revocation runs opt out with
+  ``allow_revocation`` since revoked capacity was offered but neither
+  consumed nor expired through a transition;
+* **demand accounting** — a completed computation consumed exactly its
+  total demand; an admitted-but-unfinished one consumed strictly less;
+  a rejected one consumed nothing;
+* **outcome sanity** — completed and missed are mutually exclusive;
+  finish times lie inside the run; misses only after the deadline.
+
+``audit_report`` returns human-readable violation strings (empty list =
+clean); the property suites assert emptiness on randomized runs, making
+the auditor itself part of the evidence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.resources.profile import EPSILON
+from repro.system.simulator import SimulationReport
+
+
+def audit_report(
+    report: SimulationReport, *, allow_revocation: bool = False
+) -> List[str]:
+    """Every violated invariant, as one message each."""
+    violations: List[str] = []
+    violations.extend(_audit_conservation(report, allow_revocation))
+    violations.extend(_audit_demand_accounting(report))
+    violations.extend(_audit_outcomes(report))
+    return violations
+
+
+def assert_clean(report: SimulationReport, *, allow_revocation: bool = False) -> None:
+    """Raise AssertionError listing violations, if any."""
+    violations = audit_report(report, allow_revocation=allow_revocation)
+    if violations:
+        raise AssertionError(
+            "simulation audit failed:\n  " + "\n  ".join(violations)
+        )
+
+
+# ----------------------------------------------------------------------
+
+def _close(a, b) -> bool:
+    return abs(float(a) - float(b)) <= 1e-6
+
+
+def _audit_conservation(report: SimulationReport, allow_revocation: bool):
+    consumed = report.trace.consumed_totals()
+    expired = report.trace.expired_totals()
+    for ltype, offered in report.offered.items():
+        accounted = consumed.get(ltype, 0) + expired.get(ltype, 0)
+        if allow_revocation:
+            # Revoked capacity was offered but vanished silently.
+            if float(accounted) > float(offered) + 1e-6:
+                yield (
+                    f"conservation: {ltype} accounts for {accounted} "
+                    f"but only {offered} was offered"
+                )
+        elif not _close(accounted, offered):
+            yield (
+                f"conservation: {ltype} offered {offered} but "
+                f"consumed+expired = {accounted}"
+            )
+
+
+def _audit_demand_accounting(report: SimulationReport):
+    per_actor = report.trace.consumption_by_actor()
+    consumed_by_record: Dict[str, float] = {}
+    for actor, amounts in per_actor.items():
+        owner = actor.split("[")[0]
+        consumed_by_record[owner] = consumed_by_record.get(owner, 0) + float(
+            sum(amounts.values())
+        )
+    for record in report.records:
+        consumed = consumed_by_record.get(record.label, 0.0)
+        if not record.admitted:
+            if consumed > EPSILON:
+                yield f"{record.label}: rejected but consumed {consumed}"
+            continue
+        if record.total_demands is None:
+            continue
+        demand = float(record.total_demands.total)
+        if record.completed and not _close(consumed, demand):
+            yield (
+                f"{record.label}: completed with consumption {consumed} "
+                f"!= demand {demand}"
+            )
+        if not record.completed and consumed > demand + 1e-6:
+            yield (
+                f"{record.label}: unfinished yet consumed {consumed} "
+                f"> demand {demand}"
+            )
+
+
+def _audit_outcomes(report: SimulationReport):
+    for record in report.records:
+        if record.completed and record.missed:
+            yield f"{record.label}: both completed and missed"
+        if record.completed and record.finish_time is None:
+            yield f"{record.label}: completed without a finish time"
+        if record.finish_time is not None and record.finish_time > report.horizon:
+            yield (
+                f"{record.label}: finish {record.finish_time} past the "
+                f"horizon {report.horizon}"
+            )
+        if record.missed and record.window.end > report.horizon:
+            yield (
+                f"{record.label}: marked missed but its deadline "
+                f"{record.window.end} lies beyond the horizon"
+            )

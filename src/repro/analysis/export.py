@@ -1,0 +1,74 @@
+"""CSV export for scores and sweeps.
+
+Benchmarks print aligned tables; downstream analysis (spreadsheets,
+plotting scripts) wants machine-readable rows.  Plain ``csv`` from the
+standard library — no dependency creep.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import IO, Iterable, Sequence, Union
+
+from repro.analysis.metrics import PolicyScore
+from repro.analysis.sweep import Sweep
+
+PathLike = Union[str, Path]
+
+SCORE_FIELDS: Sequence[str] = (
+    "policy",
+    "arrivals",
+    "admitted",
+    "completed",
+    "missed",
+    "rejected",
+    "precision",
+    "admission_rate",
+    "miss_rate",
+    "goodput",
+    "utilization",
+)
+
+
+def scores_to_csv(
+    scores: Iterable[PolicyScore], destination: PathLike | IO[str] | None = None
+) -> str:
+    """Write score rows as CSV; returns the CSV text either way."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(SCORE_FIELDS)
+    for score in scores:
+        writer.writerow([getattr(score, field) for field in SCORE_FIELDS])
+    text = buffer.getvalue()
+    _maybe_write(text, destination)
+    return text
+
+
+def sweep_to_csv(
+    sweep: Sweep,
+    metric: str,
+    destination: PathLike | IO[str] | None = None,
+) -> str:
+    """One metric's curves across the sweep grid, policies as columns."""
+    policies = sorted(sweep.points[0].scores) if sweep.points else []
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([sweep.parameter_name, *policies])
+    for point in sweep.points:
+        writer.writerow(
+            [point.parameter, *(point.series(name, metric) for name in policies)]
+        )
+    text = buffer.getvalue()
+    _maybe_write(text, destination)
+    return text
+
+
+def _maybe_write(text: str, destination: PathLike | IO[str] | None) -> None:
+    if destination is None:
+        return
+    if hasattr(destination, "write"):
+        destination.write(text)  # type: ignore[union-attr]
+        return
+    Path(destination).write_text(text)

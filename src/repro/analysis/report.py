@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print the same row/series structure a paper table would carry;
+:func:`render_table` keeps that output aligned and diff-friendly without
+pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.metrics import PolicyScore
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Fixed-width table with a header rule."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+POLICY_HEADERS = (
+    "policy",
+    "arrivals",
+    "admitted",
+    "completed",
+    "missed",
+    "precision",
+    "miss_rate",
+    "utilization",
+)
+
+
+def policy_table(scores: Iterable[PolicyScore], *, title: str = "") -> str:
+    """The canonical policy-comparison table."""
+    rows = [
+        (
+            s.policy,
+            s.arrivals,
+            s.admitted,
+            s.completed,
+            s.missed,
+            s.precision,
+            s.miss_rate,
+            s.utilization,
+        )
+        for s in scores
+    ]
+    return render_table(POLICY_HEADERS, rows, title=title)

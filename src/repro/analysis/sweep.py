@@ -1,0 +1,94 @@
+"""Parameter sweeps: the synthetic evaluation's figure generator.
+
+A *sweep* runs a family of simulations over a parameter grid and collects
+per-policy series — the programmatic form of an evaluation figure
+("miss rate vs offered load", "admissions vs churn intensity").  Benches
+print the series as aligned tables; downstream users can feed them to any
+plotting tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.analysis.metrics import PolicyScore, score
+from repro.analysis.report import render_table
+from repro.baselines import RotaAdmission
+from repro.baselines.base import AdmissionPolicy
+from repro.system.simulator import OpenSystemSimulator, SimulationReport
+from repro.system.scheduler import ReservationPolicy
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the parameter value plus per-policy scores."""
+
+    parameter: object
+    scores: Mapping[str, PolicyScore]
+
+    def series(self, policy: str, metric: str):
+        return getattr(self.scores[policy], metric)
+
+
+@dataclass
+class Sweep:
+    """A completed sweep: ordered points over the parameter grid."""
+
+    parameter_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, policy: str, metric: str) -> list:
+        """One curve: ``metric`` of ``policy`` across the grid."""
+        return [point.series(policy, metric) for point in self.points]
+
+    def parameters(self) -> list:
+        return [point.parameter for point in self.points]
+
+    def table(self, metric: str, *, title: str = "") -> str:
+        """All policies' curves for one metric, as an aligned table."""
+        policies = sorted(self.points[0].scores) if self.points else []
+        rows = [
+            (point.parameter, *(point.series(name, metric) for name in policies))
+            for point in self.points
+        ]
+        return render_table(
+            (self.parameter_name, *policies),
+            rows,
+            title=title or f"{metric} vs {self.parameter_name}",
+        )
+
+
+def run_sweep(
+    parameter_name: str,
+    grid: Sequence[object],
+    scenario_factory: Callable[[object], object],
+    policy_factories: Iterable[Callable[[], AdmissionPolicy]],
+) -> Sweep:
+    """Run every policy on every grid point's scenario.
+
+    ``scenario_factory(value)`` must return an object with
+    ``initial_resources``, ``events`` and ``horizon`` (the
+    :class:`repro.workloads.scenarios.Scenario` shape).  ROTA policies get
+    a reservation-following executor automatically.
+    """
+    factories = list(policy_factories)
+    sweep = Sweep(parameter_name)
+    for value in grid:
+        scores: Dict[str, PolicyScore] = {}
+        for factory in factories:
+            policy = factory()
+            scenario = scenario_factory(value)
+            allocation = (
+                ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+            )
+            simulator = OpenSystemSimulator(
+                policy,
+                initial_resources=scenario.initial_resources,
+                allocation_policy=allocation,
+            )
+            simulator.schedule(*scenario.events)
+            report: SimulationReport = simulator.run(scenario.horizon)
+            scores[policy.name] = score(report)
+        sweep.points.append(SweepPoint(value, scores))
+    return sweep

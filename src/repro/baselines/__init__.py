@@ -1,0 +1,38 @@
+"""Admission policies: ROTA vs related-work stand-ins.
+
+* :class:`RotaAdmission` — Theorem 4 expiring-slack reasoning (the paper).
+* :class:`AggregateAdmission` — order-blind totals (the unsound check
+  Section III warns about).
+* :class:`StartPointAdmission` — parcPlan-style instantaneous capacity at
+  request start points.
+* :class:`CountBoundAdmission` — step-logic/TRL/BMCL-style single count.
+* :class:`OptimisticAdmission` — admit everything.
+"""
+
+from repro.baselines.aggregate import AggregateAdmission
+from repro.baselines.base import AdmissionPolicy, PolicyDecision
+from repro.baselines.countbound import CountBoundAdmission
+from repro.baselines.optimistic import OptimisticAdmission
+from repro.baselines.retry import RetryingPolicy
+from repro.baselines.rota_policy import RotaAdmission
+from repro.baselines.startpoint import StartPointAdmission
+
+ALL_POLICIES = (
+    RotaAdmission,
+    AggregateAdmission,
+    StartPointAdmission,
+    CountBoundAdmission,
+    OptimisticAdmission,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "PolicyDecision",
+    "RetryingPolicy",
+    "RotaAdmission",
+    "AggregateAdmission",
+    "StartPointAdmission",
+    "CountBoundAdmission",
+    "OptimisticAdmission",
+    "ALL_POLICIES",
+]

@@ -1,0 +1,68 @@
+"""Admission-policy interface shared by ROTA and the baselines.
+
+The paper's thesis is that reasoning about *future* resource availability
+— not just instantaneous capacity or aggregate totals — is what makes
+deadline assurance possible.  To make that claim measurable, every
+admission approach (ROTA's and the related-work stand-ins) implements the
+same small interface; the simulator feeds them identical event streams and
+scores the outcomes.
+
+A policy is *stateful*: it learns about resources as they join and about
+its own earlier admissions, exactly like a real controller embedded in an
+open system.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.computation.requirements import ConcurrentRequirement
+from repro.decision.schedule import ConcurrentSchedule
+from repro.intervals.interval import Time
+from repro.resources.resource_set import ResourceSet
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Admit/reject, optionally with a witness schedule (ROTA only)."""
+
+    admitted: bool
+    reason: str = ""
+    schedule: Optional[ConcurrentSchedule] = None
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionPolicy(abc.ABC):
+    """Stateful admission controller fed by the simulator."""
+
+    #: Short name used in reports and benchmark tables.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def observe_resources(self, resources: ResourceSet, now: Time) -> None:
+        """Resources joined the system at ``now``."""
+
+    @abc.abstractmethod
+    def decide(self, requirement: ConcurrentRequirement, now: Time) -> PolicyDecision:
+        """Admit or reject an arrival; on admit, the policy must account
+        for the commitment in its own state."""
+
+    def on_leave(self, label: str, now: Time) -> None:
+        """An admitted computation withdrew before starting (optional)."""
+
+    def retry_candidates(
+        self, now: Time
+    ) -> list[tuple[str, ConcurrentRequirement]]:
+        """Previously rejected arrivals worth re-deciding now (optional).
+
+        Called by the simulator after resources join.  Policies that keep
+        a retry queue (see :class:`repro.baselines.retry.RetryingPolicy`)
+        return ``(label, requirement)`` pairs; each is re-offered through
+        :meth:`decide` and, on success, accommodated late — the paper's
+        computations "seeking out new frontiers" as opportunity appears.
+        """
+        return []

@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands cover the library's everyday uses without writing code:
+
+* ``scenario`` — run a named scenario under one or all admission policies
+  and print the comparison table::
+
+      python -m repro scenario pipeline --seed 3
+      python -m repro scenario cloud --policy rota
+
+* ``check`` — one-shot feasibility: read a JSON document holding a
+  resource set and a requirement (the wire format of
+  :mod:`repro.serialization`), print the verdict and witness::
+
+      python -m repro check request.json
+
+* ``table1`` — print the reproduced Table I (interval relations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis import policy_table, score
+from repro.baselines import ALL_POLICIES, RotaAdmission
+from repro.decision import AdmissionController
+from repro.serialization import (
+    requirement_from_wire,
+    resource_set_from_wire,
+    schedule_to_wire,
+)
+from repro.system import OpenSystemSimulator, ReservationPolicy
+from repro.workloads import cloud_scenario, pipeline_scenario, volunteer_scenario
+
+SCENARIOS = {
+    "cloud": cloud_scenario,
+    "pipeline": pipeline_scenario,
+    "volunteer": volunteer_scenario,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ROTA: deadline assurance for open distributed systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scenario = sub.add_parser("scenario", help="run a named scenario")
+    scenario.add_argument("name", choices=sorted(SCENARIOS))
+    scenario.add_argument("--seed", type=int, default=None)
+    scenario.add_argument(
+        "--policy",
+        choices=["all", *(cls.name for cls in ALL_POLICIES)],
+        default="all",
+    )
+
+    check = sub.add_parser("check", help="one-shot admission check from JSON")
+    check.add_argument(
+        "request",
+        help="path to a JSON file with {'resources': ..., 'requirement': ...}"
+        " in the repro.serialization wire format ('-' for stdin)",
+    )
+    check.add_argument(
+        "--align", type=int, default=None,
+        help="round witness breakpoints up to this time grid",
+    )
+
+    sub.add_parser("table1", help="print the reproduced Table I")
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded event trace through a policy"
+    )
+    replay.add_argument("trace", help="JSONL event trace (see repro.workloads.persistence)")
+    replay.add_argument(
+        "--resources",
+        default=None,
+        help="JSON file with the initial resource set (wire format); "
+        "default: empty (resources must join via trace events)",
+    )
+    replay.add_argument("--horizon", type=float, required=True)
+    replay.add_argument(
+        "--policy",
+        choices=[cls.name for cls in ALL_POLICIES],
+        default="rota",
+    )
+    return parser
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    factory = SCENARIOS[args.name]
+    scenario = factory(args.seed) if args.seed is not None else factory()
+    chosen = (
+        ALL_POLICIES
+        if args.policy == "all"
+        else tuple(cls for cls in ALL_POLICIES if cls.name == args.policy)
+    )
+    rows = []
+    for cls in chosen:
+        policy = cls()
+        allocation = (
+            ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+        )
+        simulator = OpenSystemSimulator(
+            policy,
+            initial_resources=scenario.initial_resources,
+            allocation_policy=allocation,
+        )
+        simulator.schedule(*scenario.events)
+        rows.append(score(simulator.run(scenario.horizon)))
+    print(policy_table(rows, title=f"scenario={scenario.name}"))
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.request == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(args.request) as handle:
+            payload = json.load(handle)
+    resources = resource_set_from_wire(payload["resources"])
+    requirement = requirement_from_wire(payload["requirement"])
+    controller = AdmissionController(resources, align=args.align)
+    decision = controller.can_admit(requirement)
+    result = {"admitted": decision.admitted}
+    if decision.admitted and decision.schedule is not None:
+        result["schedules"] = [
+            schedule_to_wire(s) for s in decision.schedule.schedules
+        ]
+    else:
+        result["reason"] = decision.reason
+    json.dump(result, sys.stdout, indent=2)
+    print()
+    return 0 if decision.admitted else 1
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.intervals import ALL_RELATIONS, BASE_RELATIONS, INTERPRETATION
+
+    rows = [
+        (
+            relation.value,
+            INTERPRETATION[relation],
+            "base" if relation in BASE_RELATIONS else "inverse",
+        )
+        for relation in ALL_RELATIONS
+    ]
+    print(render_table(("symbol", "interpretation", "kind"), rows,
+                       title="Table I — interval relations"))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.resources import ResourceSet
+    from repro.workloads.persistence import load_events
+
+    if args.resources is not None:
+        with open(args.resources) as handle:
+            initial = resource_set_from_wire(json.load(handle))
+    else:
+        initial = ResourceSet.empty()
+    policy_cls = next(cls for cls in ALL_POLICIES if cls.name == args.policy)
+    policy = policy_cls()
+    allocation = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+    simulator = OpenSystemSimulator(
+        policy, initial_resources=initial, allocation_policy=allocation
+    )
+    simulator.schedule(*load_events(args.trace))
+    report = simulator.run(args.horizon)
+    print(policy_table([score(report)], title=f"replay of {args.trace}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Actor actions (paper Section IV-A).
+
+An actor's behaviour is a sequence of five primitive actions:
+
+* :class:`Evaluate` — evaluate an expression (CPU at the actor's location),
+* :class:`Send` — send an asynchronous message to another actor
+  (network from sender's to receiver's location),
+* :class:`Create` — create a new actor with a predefined behaviour (CPU),
+* :class:`Ready` — change state and become ready for the next message (CPU),
+* :class:`Migrate` — move to another location and resume there (CPU at the
+  source to serialise, network to ship the state, CPU at the destination
+  to deserialise).
+
+Actions are pure descriptions; the resources they need are assigned by a
+cost model (the paper's ``Phi``), and locations are resolved against a
+placement at requirement-derivation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import InvalidComputationError
+from repro.resources.located_type import Node
+
+
+def _positive(value: object, what: str) -> None:
+    if not isinstance(value, (int, float)) or value <= 0:
+        raise InvalidComputationError(f"{what} must be a positive number, got {value!r}")
+
+
+@dataclass(frozen=True)
+class Evaluate:
+    """``evaluate(e)`` — local computation.
+
+    ``work`` scales the CPU cost: an expression with ``work=2`` costs twice
+    the model's base evaluate amount.
+    """
+
+    expression: str = "e"
+    work: float = 1
+
+    def __post_init__(self) -> None:
+        _positive(self.work, "evaluate work")
+
+    @property
+    def kind(self) -> str:
+        return "evaluate"
+
+
+@dataclass(frozen=True)
+class Send:
+    """``send(target, message)`` — asynchronous point-to-point message.
+
+    ``size`` scales the network cost with the message payload.
+    """
+
+    target: str
+    message: str = "m"
+    size: float = 1
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise InvalidComputationError("send target must be a non-empty actor name")
+        _positive(self.size, "message size")
+
+    @property
+    def kind(self) -> str:
+        return "send"
+
+
+@dataclass(frozen=True)
+class Create:
+    """``create(behaviour)`` — spawn a new actor locally."""
+
+    behaviour: str = "b"
+
+    @property
+    def kind(self) -> str:
+        return "create"
+
+
+@dataclass(frozen=True)
+class Ready:
+    """``ready(state)`` — commit state, ready for the next message."""
+
+    state: str = "s"
+
+    @property
+    def kind(self) -> str:
+        return "ready"
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """``migrate(l)`` — move to location ``destination`` and resume there.
+
+    ``size`` scales the serialisation/transfer cost with actor state size.
+    """
+
+    destination: Node
+    size: float = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.destination, Node):
+            raise InvalidComputationError(
+                f"migrate destination must be a Node, got {self.destination!r}"
+            )
+        _positive(self.size, "migration size")
+
+    @property
+    def kind(self) -> str:
+        return "migrate"
+
+
+Action = Union[Evaluate, Send, Create, Ready, Migrate]
+
+#: Every concrete action class, for registration-style cost models.
+ACTION_KINDS: tuple[str, ...] = ("evaluate", "send", "create", "ready", "migrate")

@@ -1,0 +1,65 @@
+"""Decision procedures for Theorems 1-4 (the paper's reasoning, executable).
+
+* :mod:`repro.decision.simple` — Theorem 1 (single action, the ``f`` check)
+* :mod:`repro.decision.sequential` — Theorem 2 (breakpoint search)
+* :mod:`repro.decision.concurrent` — Section IV-B.3 (one-at-a-time admission)
+* :mod:`repro.decision.admission` — Theorem 4 (expiring-slack admission)
+* :mod:`repro.decision.bruteforce` — exhaustive transition-tree oracles
+"""
+
+from repro.decision.admission import AdmissionController, AdmissionDecision
+from repro.decision.alap import (
+    criticality,
+    find_alap_schedule,
+    latest_phase_start,
+    latest_start,
+)
+from repro.decision.bruteforce import concurrent_feasible, sequential_feasible
+from repro.decision.concurrent import (
+    MAX_EXHAUSTIVE_COMPONENTS,
+    find_concurrent_schedule,
+)
+from repro.decision.schedule import ConcurrentSchedule, PhaseAssignment, Schedule
+from repro.decision.sequential import (
+    earliest_finish_time,
+    earliest_phase_finish,
+    find_schedule,
+)
+from repro.decision.segmented import (
+    SegmentedSchedule,
+    find_segmented_schedule,
+    interaction_cost,
+)
+from repro.decision.simple import SimpleCheck, check, satisfies
+
+# Predicate aliases: both sequential and concurrent expose ``is_feasible``;
+# re-export them under unambiguous names.
+from repro.decision.sequential import is_feasible as is_sequential_feasible
+from repro.decision.concurrent import is_feasible as is_concurrent_feasible
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "criticality",
+    "find_alap_schedule",
+    "latest_phase_start",
+    "latest_start",
+    "concurrent_feasible",
+    "sequential_feasible",
+    "MAX_EXHAUSTIVE_COMPONENTS",
+    "find_concurrent_schedule",
+    "ConcurrentSchedule",
+    "PhaseAssignment",
+    "Schedule",
+    "earliest_finish_time",
+    "earliest_phase_finish",
+    "find_schedule",
+    "SimpleCheck",
+    "check",
+    "satisfies",
+    "SegmentedSchedule",
+    "find_segmented_schedule",
+    "interaction_cost",
+    "is_sequential_feasible",
+    "is_concurrent_feasible",
+]

@@ -1,0 +1,267 @@
+"""Theorem 4 — accommodating additional computations.
+
+Theorem 4: a new computation ``(Gamma, s, d)`` can be accommodated
+*without affecting the computations already in the system* if the
+resources expiring (going unused) along a committed computation path
+during ``(s, d)`` satisfy the new computation's complex requirement.  The
+combined path — existing transitions merged with the new computation's —
+is then itself a valid concurrent path.
+
+:class:`AdmissionController` maintains exactly that committed path:
+
+* ``_available``  — all resources the system knows about (``Theta``),
+* ``_committed``  — the union of admitted schedules' claimed consumption.
+
+The *expiring slack* ``available - committed`` is the executable analogue
+of the paper's ``U Theta_expire``: whatever the committed path will not
+consume would expire, and is therefore free for newcomers.  Admission
+checks the newcomer against the slack only, so prior commitments are never
+disturbed — the controller never re-plans admitted work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.computation.requirements import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+)
+from repro.decision.concurrent import find_concurrent_schedule
+from repro.decision.schedule import ConcurrentSchedule, Schedule
+from repro.decision.sequential import find_schedule
+from repro.errors import TransitionError
+from repro.intervals.interval import Time
+from repro.resources.resource_set import ResourceSet
+from repro.resources.term import ResourceTerm
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission attempt."""
+
+    admitted: bool
+    label: str
+    schedule: Optional[ConcurrentSchedule] = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+class AdmissionController:
+    """Deadline-assurance admission control per Theorem 4.
+
+    The controller is the paper's intended application: at any time,
+    given a computation, evaluate whether its deadline constraint can be
+    assured by the available resources — and if admitted, guarantee it
+    stays assured as further computations and resources arrive.
+    """
+
+    def __init__(
+        self,
+        available: ResourceSet | None = None,
+        *,
+        now: Time = 0,
+        align: Time | None = None,
+    ) -> None:
+        self._available = available or ResourceSet.empty()
+        self._committed = ResourceSet.empty()
+        # Cached ``available - committed``, maintained incrementally: the
+        # one-more-admission query is the hot path and recomputing the
+        # relative complement per call is the dominant cost (measured in
+        # bench_theorem4_admission.py's slack-cache ablation).
+        self._slack = self._available
+        self._schedules: Dict[str, ConcurrentSchedule] = {}
+        self._now = now
+        #: Witness breakpoints are rounded up to this grid when set: pass
+        #: the executor's ``Delta t`` so committed schedules survive
+        #: slice-atomic execution (see ``find_schedule``).
+        self._align = align
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> Time:
+        return self._now
+
+    @property
+    def available(self) -> ResourceSet:
+        """All resources known to the system (``Theta``)."""
+        return self._available
+
+    @property
+    def committed(self) -> ResourceSet:
+        """Consumption claimed by admitted schedules."""
+        return self._committed
+
+    @property
+    def expiring_slack(self) -> ResourceSet:
+        """``U Theta_expire``: resources the committed path will not use.
+
+        Maintained incrementally; always equal to
+        ``available - committed`` (property-tested invariant).
+        """
+        return self._slack
+
+    @property
+    def admitted_labels(self) -> tuple[str, ...]:
+        return tuple(self._schedules)
+
+    def schedule_of(self, label: str) -> ConcurrentSchedule:
+        return self._schedules[label]
+
+    # ------------------------------------------------------------------
+    # Resource dynamics (the open-system rules)
+    # ------------------------------------------------------------------
+    def add_resources(self, joining: ResourceSet | Iterable[ResourceTerm]) -> None:
+        """Resource acquisition rule: ``Theta := Theta U Theta_join``.
+
+        Per the paper there is no resource-leave rule — a term's interval
+        already states when it leaves.
+        """
+        if not isinstance(joining, ResourceSet):
+            joining = ResourceSet(joining)
+        self._available = self._available | joining
+        self._slack = self._slack | joining
+
+    @property
+    def align(self) -> Time | None:
+        """The witness-alignment grid (None = exact continuous time)."""
+        return self._align
+
+    def reserve(self, resources: ResourceSet) -> None:
+        """Mark ``resources`` as committed without a schedule — used by
+        resource encapsulations carving out a child's allotment.  The
+        reservation must fit inside the current expiring slack."""
+        if not self.expiring_slack.dominates(resources):
+            raise TransitionError(
+                "reservation exceeds the expiring slack"
+            )
+        self._committed = self._committed | resources
+        self._slack = self._slack - resources
+
+    def release(self, resources: ResourceSet) -> None:
+        """Return a previously reserved set to the slack pool."""
+        self._committed = self._committed - resources
+        self._slack = self._slack | resources
+
+    def advance_to(self, t: Time) -> None:
+        """Move the clock forward; past availability and consumption expire
+        together, so the slack accounting stays consistent."""
+        if t < self._now:
+            raise TransitionError(f"cannot move time backwards: {t} < {self._now}")
+        self._now = t
+
+    # ------------------------------------------------------------------
+    # Admission (Theorem 4)
+    # ------------------------------------------------------------------
+    def can_admit(
+        self,
+        requirement: ComplexRequirement | ConcurrentRequirement,
+        *,
+        exhaustive: bool = False,
+    ) -> AdmissionDecision:
+        """Check a newcomer against the expiring slack, without committing."""
+        requirement = _as_concurrent(requirement)
+        label = _requirement_label(requirement)
+        if requirement.deadline <= self._now:
+            return AdmissionDecision(
+                False, label, reason="deadline has already passed (t >= d)"
+            )
+        effective = requirement
+        if requirement.start < self._now:
+            # The computation cannot consume resources in the past; clip
+            # its window to (now, d).
+            effective = _clip_start(requirement, self._now)
+        schedule = find_concurrent_schedule(
+            self.expiring_slack, effective, exhaustive=exhaustive, align=self._align
+        )
+        if schedule is None:
+            return AdmissionDecision(
+                False,
+                label,
+                reason="expiring slack cannot satisfy the complex requirement",
+            )
+        return AdmissionDecision(True, label, schedule=schedule)
+
+    def admit(
+        self,
+        requirement: ComplexRequirement | ConcurrentRequirement,
+        *,
+        exhaustive: bool = False,
+    ) -> AdmissionDecision:
+        """Computation-accommodation rule: commit the newcomer's schedule.
+
+        On success the newcomer's claimed consumption joins the committed
+        path, so later admissions see only the remaining slack.
+        """
+        decision = self.can_admit(requirement, exhaustive=exhaustive)
+        if decision.admitted and decision.schedule is not None:
+            consumption = decision.schedule.consumption()
+            self._committed = self._committed | consumption
+            self._slack = self._slack - consumption
+            self._schedules[_unique_label(decision.label, self._schedules)] = (
+                decision.schedule
+            )
+        return decision
+
+    def withdraw(self, label: str, *, now: Time | None = None) -> None:
+        """Computation-leave rule: a computation that has not started may
+        leave; its claimed resources return to the slack pool."""
+        now = self._now if now is None else now
+        schedule = self._schedules.get(label)
+        if schedule is None:
+            raise TransitionError(f"no admitted computation labelled {label!r}")
+        started = any(s.requirement.start < now for s in schedule.schedules)
+        if started:
+            raise TransitionError(
+                f"computation {label!r} has already started (t >= s); "
+                "the paper's leave rule requires t < s"
+            )
+        consumption = schedule.consumption()
+        self._committed = self._committed - consumption
+        self._slack = self._slack | consumption
+        del self._schedules[label]
+
+
+def _as_concurrent(
+    requirement: ComplexRequirement | ConcurrentRequirement,
+) -> ConcurrentRequirement:
+    if isinstance(requirement, ConcurrentRequirement):
+        return requirement
+    return ConcurrentRequirement((requirement,), requirement.window)
+
+
+def _clip_start(
+    requirement: ConcurrentRequirement, now: Time
+) -> ConcurrentRequirement:
+    from repro.intervals.interval import Interval
+
+    window = Interval(now, requirement.deadline)
+    components = tuple(
+        ComplexRequirement(
+            part.phases,
+            Interval(max(part.start, now), part.deadline),
+            label=part.label,
+        )
+        for part in requirement.components
+    )
+    return ConcurrentRequirement(components, window)
+
+
+def _requirement_label(requirement: ConcurrentRequirement) -> str:
+    labels = [part.label for part in requirement.components if part.label]
+    return labels[0].split("[")[0] if labels else "computation"
+
+
+_label_counter = itertools.count(2)
+
+
+def _unique_label(label: str, existing: Dict[str, ConcurrentSchedule]) -> str:
+    if label not in existing:
+        return label
+    return f"{label}#{next(_label_counter)}"

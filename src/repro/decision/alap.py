@@ -1,0 +1,106 @@
+"""As-late-as-possible scheduling: the time-reversed dual of Theorem 2.
+
+The greedy earliest-finish procedure (:mod:`repro.decision.sequential`)
+claims resources as early as possible.  Its mirror — claim as *late* as
+the deadline allows — is equally valid as a Theorem 2 witness and answers
+two questions the forward pass cannot:
+
+* :func:`latest_start` — how long may the computation safely procrastinate?
+  (the classical latest-release-time / criticality analysis);
+* :func:`find_alap_schedule` — a witness whose claims hug the deadline,
+  leaving the *earliest* resources free.
+
+Duality (property-tested): an instance is ALAP-feasible iff it is
+ASAP-feasible, and ``asap.finish_time <= deadline`` iff
+``alap.start >= requirement.start``.
+
+Which claiming strategy serves *future* admissions better is genuinely
+workload-dependent: ASAP preserves late resources (good when newcomers
+have later windows), ALAP preserves early ones (which would otherwise
+expire first).  Experiment E17 (``benchmarks/bench_claim_strategy.py``)
+measures the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.computation.demands import Demands
+from repro.computation.requirements import ComplexRequirement
+from repro.decision.schedule import PhaseAssignment, Schedule
+from repro.intervals.interval import Interval, Time
+from repro.resources.located_type import LocatedType
+from repro.resources.profile import RateProfile
+from repro.resources.resource_set import ResourceSet
+
+
+def latest_phase_start(
+    available: ResourceSet, demands: Demands, end: Time
+) -> Optional[Time]:
+    """Latest time consumption may begin so that every amount in
+    ``demands`` accumulates by ``end``; None when impossible."""
+    start = end
+    for ltype, quantity in demands.items():
+        t = available.profile(ltype).latest_accumulation(end, quantity)
+        if t is None:
+            return None
+        start = min(start, t)
+    return start
+
+
+def _phase_consumption_backward(
+    available: ResourceSet, demands: Demands, end: Time
+) -> Dict[LocatedType, RateProfile]:
+    claimed: Dict[LocatedType, RateProfile] = {}
+    for ltype, quantity in demands.items():
+        profile = available.profile(ltype)
+        start = profile.latest_accumulation(end, quantity)
+        if start is None:  # pragma: no cover - caller checks feasibility
+            raise AssertionError("backward consumption on infeasible phase")
+        claimed[ltype] = profile.clamp(Interval(start, end))
+    return claimed
+
+
+def find_alap_schedule(
+    available: ResourceSet, requirement: ComplexRequirement
+) -> Optional[Schedule]:
+    """Backward-greedy witness: phases pinned as late as the deadline and
+    the sequencing allow.  Returns None iff the forward procedure would
+    also return None (duality, property-tested)."""
+    t = requirement.deadline
+    start_bound = requirement.start
+    assignments_reversed: list[PhaseAssignment] = []
+    for index in range(len(requirement.phases) - 1, -1, -1):
+        demands = requirement.phases[index]
+        start = latest_phase_start(available, demands, t)
+        if start is None or start < start_bound:
+            return None
+        consumption = _phase_consumption_backward(available, demands, t)
+        assignments_reversed.append(
+            PhaseAssignment(index, Interval(min(start, t), t), consumption)
+        )
+        t = start
+    return Schedule(requirement, tuple(reversed(assignments_reversed)))
+
+
+def latest_start(
+    available: ResourceSet, requirement: ComplexRequirement
+) -> Optional[Time]:
+    """The latest time the computation could begin and still meet its
+    deadline against ``available`` — None when it cannot even start at
+    ``s``.  ``latest_start - s`` is the computation's scheduling slack
+    (zero = critical)."""
+    schedule = find_alap_schedule(available, requirement)
+    if schedule is None:
+        return None
+    return schedule.assignments[0].window.start
+
+
+def criticality(
+    available: ResourceSet, requirement: ComplexRequirement
+) -> Optional[Time]:
+    """Slack before the computation becomes critical: ``latest_start - s``."""
+    start = latest_start(available, requirement)
+    if start is None:
+        return None
+    return start - requirement.start

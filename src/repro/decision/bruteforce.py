@@ -1,0 +1,218 @@
+"""Brute-force feasibility oracles.
+
+Independent, exhaustive implementations used to validate the fast decision
+procedures.  They quantise time into ``dt`` slices and explore the ROTA
+transition tree (Theorem 3's "all possible evolutions of the system")
+directly:
+
+* at every slice, each admitted component may consume its current phase's
+  resources, up to both the available rate and its remaining demand;
+* unconsumed capacity *expires* — it cannot be banked (the paper's
+  resource-expiration rule) — so only the split of capacity among
+  competing components is a genuine choice point;
+* a computation completes when its last phase's demands reach zero.
+
+Quantised feasibility implies continuous feasibility (a quantised
+execution is a continuous one), so these oracles are sound; they are
+complete for instances whose rates, demands and window endpoints are
+integer multiples of ``dt`` *and* whose phase finishes land on the grid —
+the property-test generators produce exactly such instances.
+
+Complexity is exponential; keep instances tiny (the oracles guard with
+:data:`MAX_STATES`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.computation.requirements import ComplexRequirement, ConcurrentRequirement
+from repro.errors import SimulationError
+from repro.intervals.interval import Interval, Time
+from repro.resources.located_type import LocatedType
+from repro.resources.resource_set import ResourceSet
+
+#: Exploration budget; exceeded means the instance is too big for an oracle.
+MAX_STATES = 2_000_000
+
+#: Remaining demands of one component: ((ltype, qty), ...) sorted for hashing.
+_Remaining = Tuple[Tuple[LocatedType, Time], ...]
+#: One component's state: (phase index, remaining demands of that phase).
+_ComponentState = Tuple[int, _Remaining]
+
+
+def _freeze(demands: Dict[LocatedType, Time]) -> _Remaining:
+    return tuple(sorted(
+        ((lt, q) for lt, q in demands.items() if q > 0),
+        key=lambda item: (item[0].kind, str(item[0].location)),
+    ))
+
+
+def _advance(
+    component: ComplexRequirement, state: _ComponentState
+) -> _ComponentState:
+    """Skip fully satisfied phases (demand exhausted -> next phase)."""
+    index, remaining = state
+    phases = component.phases
+    while not remaining and index < len(phases):
+        index += 1
+        if index < len(phases):
+            remaining = _freeze(dict(phases[index]))
+    return (index, remaining)
+
+
+def _splits(capacity: int, wants: Sequence[int]) -> Iterator[Tuple[int, ...]]:
+    """All maximal integer splits of ``capacity`` among ``wants``.
+
+    Maximal: total allocated = min(capacity, sum(wants)); no component gets
+    more than it wants.  Unallocated capacity expires, so non-maximal
+    splits are dominated and skipped.
+    """
+    total = min(capacity, sum(wants))
+
+    def rec(i: int, left: int) -> Iterator[Tuple[int, ...]]:
+        if i == len(wants) - 1:
+            if left <= wants[i]:
+                yield (left,)
+            return
+        tail_max = sum(wants[i + 1:])
+        lo = max(0, left - tail_max)
+        hi = min(wants[i], left)
+        for x in range(lo, hi + 1):
+            for rest in rec(i + 1, left - x):
+                yield (x, *rest)
+
+    if not wants:
+        yield ()
+        return
+    yield from rec(0, total)
+
+
+def concurrent_feasible(
+    available: ResourceSet,
+    requirement: ConcurrentRequirement,
+    *,
+    dt: int = 1,
+) -> bool:
+    """Exhaustive Theorem 3 oracle over the quantised transition tree.
+
+    Requires integer rates/demands/window endpoints (multiples of ``dt``).
+    Returns whether *some* computation path completes every component's
+    phases before its own deadline.
+    """
+    components = requirement.components
+    for component in components:
+        for phase in component.phases:
+            for quantity in phase.values():
+                if quantity != int(quantity):
+                    raise SimulationError(
+                        "brute-force oracle requires integer demands"
+                    )
+    start = requirement.start
+    horizon = max(part.deadline for part in components)
+    if math.isinf(horizon):
+        raise SimulationError("brute-force oracle requires finite deadlines")
+
+    ltypes = sorted(
+        {lt for part in components for phase in part.phases for lt in phase},
+        key=lambda lt: (lt.kind, str(lt.location)),
+    )
+
+    initial = tuple(
+        _advance(part, (0, _freeze(dict(part.phases[0]))))
+        for part in components
+    )
+
+    seen: set[Tuple[Time, Tuple[_ComponentState, ...]]] = set()
+    explored = 0
+
+    def done(states: Tuple[_ComponentState, ...]) -> bool:
+        return all(index >= len(components[j].phases) for j, (index, _) in enumerate(states))
+
+    def dead(t: Time, states: Tuple[_ComponentState, ...]) -> bool:
+        return any(
+            index < len(components[j].phases) and t >= components[j].deadline
+            for j, (index, _) in enumerate(states)
+        )
+
+    def search(t: Time, states: Tuple[_ComponentState, ...]) -> bool:
+        nonlocal explored
+        if done(states):
+            return True
+        if t >= horizon or dead(t, states):
+            return False
+        key = (t, states)
+        if key in seen:
+            return False
+        seen.add(key)
+        explored += 1
+        if explored > MAX_STATES:
+            raise SimulationError(
+                f"brute-force exploration exceeded {MAX_STATES} states"
+            )
+        # Who may consume during (t, t + dt)?  Components whose window has
+        # opened, whose deadline has not passed, with remaining demand.
+        slice_window = Interval(t, t + dt)
+        per_type_choices: list[list[Tuple[Tuple[int, int], ...]]] = []
+        # For each ltype: list of ((component index, allocation), ...) options
+        options_per_type: list[list[Tuple[Tuple[int, int], ...]]] = []
+        for ltype in ltypes:
+            capacity = int(available.quantity(ltype, slice_window))
+            claimants: list[int] = []
+            wants: list[int] = []
+            for j, (index, remaining) in enumerate(states):
+                part = components[j]
+                if index >= len(part.phases):
+                    continue
+                if t < part.start or t >= part.deadline:
+                    continue
+                want = dict(remaining).get(ltype, 0)
+                if want > 0:
+                    claimants.append(j)
+                    wants.append(int(min(want, capacity)))
+            if not claimants or capacity <= 0:
+                options_per_type.append([()])
+                continue
+            options = [
+                tuple(zip(claimants, split))
+                for split in _splits(capacity, wants)
+            ]
+            options_per_type.append(options or [()])
+
+        def assemble(type_index: int, states_now: Tuple[_ComponentState, ...]) -> bool:
+            if type_index == len(ltypes):
+                advanced = tuple(
+                    _advance(components[j], state) for j, state in enumerate(states_now)
+                )
+                return search(t + dt, advanced)
+            for option in options_per_type[type_index]:
+                updated = list(states_now)
+                for j, amount in option:
+                    if amount == 0:
+                        continue
+                    index, remaining = updated[j]
+                    demand = dict(remaining)
+                    demand[ltypes[type_index]] = demand.get(ltypes[type_index], 0) - amount
+                    updated[j] = (index, _freeze(demand))
+                if assemble(type_index + 1, tuple(updated)):
+                    return True
+            return False
+
+        return assemble(0, states)
+
+    return search(start, initial)
+
+
+def sequential_feasible(
+    available: ResourceSet,
+    requirement: ComplexRequirement,
+    *,
+    dt: int = 1,
+) -> bool:
+    """Single-actor specialisation of :func:`concurrent_feasible`."""
+    return concurrent_feasible(
+        available,
+        ConcurrentRequirement((requirement,), requirement.window),
+        dt=dt,
+    )

@@ -1,0 +1,101 @@
+"""Witness schedules produced by the decision procedures.
+
+Theorem 2 characterises feasibility of a sequential computation by the
+*existence* of breakpoints ``t_1 .. t_{m-1}``.  Our procedures do better
+than a yes/no answer: they return a :class:`Schedule` — the breakpoints
+plus the exact consumption profile the computation would claim under the
+earliest-finish execution.  Schedules are what admission control commits
+to, what the simulator executes, and what Theorem 4's expiring-slack
+reasoning subtracts from availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.computation.requirements import ComplexRequirement
+from repro.intervals.interval import Interval, Time
+from repro.resources.located_type import LocatedType
+from repro.resources.profile import RateProfile
+from repro.resources.resource_set import ResourceSet
+
+
+@dataclass(frozen=True)
+class PhaseAssignment:
+    """One phase pinned to its subinterval, with its claimed consumption."""
+
+    index: int
+    window: Interval
+    consumption: Mapping[LocatedType, RateProfile]
+
+    def claimed_quantity(self, ltype: LocatedType) -> Time:
+        profile = self.consumption.get(ltype)
+        return profile.integral(self.window) if profile is not None else 0
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A feasible execution witness for one complex requirement."""
+
+    requirement: ComplexRequirement
+    assignments: tuple[PhaseAssignment, ...]
+
+    @property
+    def breakpoints(self) -> tuple[Time, ...]:
+        """The interior breakpoints ``t_1 .. t_{m-1}`` of Theorem 2."""
+        return tuple(a.window.end for a in self.assignments[:-1])
+
+    @property
+    def finish_time(self) -> Time:
+        """When the last phase completes (<= the deadline)."""
+        return self.assignments[-1].window.end if self.assignments else (
+            self.requirement.start
+        )
+
+    @property
+    def slack(self) -> Time:
+        """Time to spare before the deadline."""
+        return self.requirement.deadline - self.finish_time
+
+    def consumption(self) -> ResourceSet:
+        """Everything the schedule claims, as a resource set.
+
+        This is what must be subtracted from system availability when the
+        schedule is committed (and what Theorem 4 reasoning treats as
+        *not* expiring).
+        """
+        profiles: Dict[LocatedType, RateProfile] = {}
+        for assignment in self.assignments:
+            for ltype, profile in assignment.consumption.items():
+                profiles[ltype] = profiles.get(ltype, RateProfile.zero()) + profile
+        return ResourceSet.from_profiles(profiles)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.requirement.label or '?'}: finish={self.finish_time}, "
+            f"breakpoints={list(self.breakpoints)})"
+        )
+
+
+@dataclass(frozen=True)
+class ConcurrentSchedule:
+    """Witness for a concurrent requirement: one schedule per actor."""
+
+    schedules: tuple[Schedule, ...]
+
+    @property
+    def finish_time(self) -> Time:
+        return max((s.finish_time for s in self.schedules), default=0)
+
+    def consumption(self) -> ResourceSet:
+        total = ResourceSet.empty()
+        for schedule in self.schedules:
+            total = total | schedule.consumption()
+        return total
+
+    def __iter__(self):
+        return iter(self.schedules)
+
+    def __len__(self) -> int:
+        return len(self.schedules)

@@ -1,0 +1,109 @@
+"""Deciding segmented (interacting-actor) requirements.
+
+Extends Theorem 2's witness search to computations with waits (paper
+Section VI, future work #1).  Reasoning is worst case in the delays:
+
+* segment 0 may start at ``s``;
+* segment ``i+1`` may start at ``finish_i + wait_i.max_delay``;
+* the whole computation is assured iff the last segment finishes by ``d``
+  under this pessimistic placement.
+
+Soundness: an actual run's wait is at most ``max_delay``, so every
+segment is *ready* no later than the schedule assumes; the claimed
+resources sit at the worst-case positions and a ready-early segment
+simply waits for its claimed window.  (Claiming at actual-readiness would
+be tighter but loses assurance — an early reply cannot be promised.)
+
+The slack between the optimistic (wait-free) finish and the worst-case
+finish quantifies the price of interaction; see
+``benchmarks/bench_interaction.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.computation.interaction import SegmentedRequirement
+from repro.decision.schedule import Schedule
+from repro.decision.sequential import find_schedule
+from repro.intervals.interval import Time
+from repro.resources.resource_set import ResourceSet
+
+
+@dataclass(frozen=True)
+class SegmentedSchedule:
+    """Witness: one plain schedule per segment, worst-case released."""
+
+    requirement: SegmentedRequirement
+    segments: tuple[Schedule, ...]
+
+    @property
+    def finish_time(self) -> Time:
+        return self.segments[-1].finish_time
+
+    @property
+    def slack(self) -> Time:
+        return self.requirement.deadline - self.finish_time
+
+    def consumption(self) -> ResourceSet:
+        total = ResourceSet.empty()
+        for schedule in self.segments:
+            total = total | schedule.consumption()
+        return total
+
+    def release_times(self) -> tuple[Time, ...]:
+        """Worst-case start of each segment."""
+        return tuple(s.requirement.start for s in self.segments)
+
+
+def find_segmented_schedule(
+    available: ResourceSet,
+    requirement: SegmentedRequirement,
+    *,
+    align: Optional[Time] = None,
+) -> Optional[SegmentedSchedule]:
+    """Worst-case witness for a segmented requirement, or None."""
+    t = requirement.start
+    remaining = available
+    schedules: list[Schedule] = []
+    for index in range(requirement.segment_count):
+        if index > 0:
+            t = t + requirement.waits[index - 1].max_delay
+        if t >= requirement.deadline:
+            return None
+        segment_requirement = requirement.segment_requirement(index, t)
+        schedule = find_schedule(remaining, segment_requirement, align=align)
+        if schedule is None:
+            return None
+        schedules.append(schedule)
+        remaining = remaining - schedule.consumption()
+        t = schedule.finish_time
+    return SegmentedSchedule(requirement, tuple(schedules))
+
+
+def is_feasible(
+    available: ResourceSet,
+    requirement: SegmentedRequirement,
+    *,
+    align: Optional[Time] = None,
+) -> bool:
+    """Segmented accommodation as a predicate."""
+    return find_segmented_schedule(available, requirement, align=align) is not None
+
+
+def interaction_cost(
+    available: ResourceSet, requirement: SegmentedRequirement
+) -> Optional[Time]:
+    """How much later the worst-case segmented finish is than the
+    wait-free flattening's finish: the assured price of interaction.
+    None when even the flattening is infeasible (cost is moot)."""
+    from repro.decision.sequential import earliest_finish_time
+
+    optimistic = earliest_finish_time(available, requirement.flattened())
+    if optimistic is None:
+        return None
+    pessimistic = find_segmented_schedule(available, requirement)
+    if pessimistic is None:
+        return None
+    return pessimistic.finish_time - optimistic

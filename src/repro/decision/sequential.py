@@ -1,0 +1,131 @@
+"""Theorem 2 — sequential computation accommodation.
+
+A system can accommodate ``(Gamma, s, d)`` iff breakpoints
+``t_1 < .. < t_{m-1}`` exist dividing ``(s, d)`` so that every phase's
+simple requirement is satisfied within its own subinterval.
+
+The procedure here finds such breakpoints greedily: each phase starts when
+the previous one finished and claims each of its located types as early as
+possible at the full available rate; the phase finishes when the slowest
+of its types has accumulated its amount.  Greedy earliest-finish is exact
+for a single computation against a fixed availability profile:
+
+* availability integrals are monotone non-decreasing in the window end,
+  so finishing a phase earlier never shrinks what later phases can use;
+* a standard exchange argument turns any feasible breakpoint vector into
+  the greedy one without violating any phase's requirement.
+
+``tests/test_decision_sequential.py`` cross-validates this claim against
+the independent brute-force searcher on randomized instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.computation.demands import Demands
+from repro.computation.requirements import ComplexRequirement
+from repro.decision.schedule import PhaseAssignment, Schedule
+from repro.intervals.interval import Interval, Time
+from repro.resources.located_type import LocatedType
+from repro.resources.profile import RateProfile
+from repro.resources.resource_set import ResourceSet
+
+
+def earliest_phase_finish(
+    available: ResourceSet, demands: Demands, start: Time
+) -> Optional[Time]:
+    """Earliest time by which every amount in ``demands`` can be
+    accumulated when consumption starts at ``start``; ``None`` if some
+    amount can never be accumulated."""
+    finish = start
+    for ltype, quantity in demands.items():
+        t = available.profile(ltype).earliest_accumulation(start, quantity)
+        if t is None:
+            return None
+        finish = max(finish, t)
+    return finish
+
+
+def _phase_consumption(
+    available: ResourceSet, demands: Demands, start: Time
+) -> Dict[LocatedType, RateProfile]:
+    """The earliest-finish consumption of one phase: each type is claimed
+    at the full available rate from ``start`` until exactly its amount has
+    been accumulated."""
+    claimed: Dict[LocatedType, RateProfile] = {}
+    for ltype, quantity in demands.items():
+        profile = available.profile(ltype)
+        finish = profile.earliest_accumulation(start, quantity)
+        if finish is None:  # pragma: no cover - caller checks feasibility first
+            raise AssertionError("consumption requested for infeasible phase")
+        claimed[ltype] = profile.clamp(Interval(start, finish))
+    return claimed
+
+
+def _align_up(t: Time, align: Time) -> Time:
+    """Smallest multiple of ``align`` that is >= ``t`` (grid anchored at 0)."""
+    quotient = t / align
+    rounded = math.ceil(quotient)
+    # Guard against float fuzz pushing an exact multiple up a full step.
+    if (rounded - 1) * align >= t:
+        rounded -= 1
+    return rounded * align
+
+
+def find_schedule(
+    available: ResourceSet,
+    requirement: ComplexRequirement,
+    *,
+    align: Optional[Time] = None,
+) -> Optional[Schedule]:
+    """Greedy earliest-finish witness for ``rho(Gamma, s, d)``.
+
+    Returns a :class:`Schedule` whose breakpoints satisfy Theorem 2, or
+    ``None`` when the requirement cannot be accommodated by ``available``.
+
+    ``align`` rounds every phase boundary up to the given time grid.  The
+    paper's transition rules advance in slices of ``Delta t`` — "the
+    smallest time slice that the system can account for" — and an executor
+    that switches phases only at slice boundaries can follow a witness
+    exactly only if the witness's breakpoints lie on the grid.  Exact
+    (continuous) reasoning is the default; admission controllers feeding a
+    ``Delta t`` executor pass their slice length.
+    """
+    t = requirement.start
+    deadline = requirement.deadline
+    assignments: list[PhaseAssignment] = []
+    for index, demands in enumerate(requirement.phases):
+        finish = earliest_phase_finish(available, demands, t)
+        if finish is None:
+            return None
+        if align is not None:
+            finish = _align_up(finish, align)
+        if finish > deadline:
+            return None
+        consumption = _phase_consumption(available, demands, t)
+        assignments.append(
+            PhaseAssignment(index, Interval(t, max(finish, t)), consumption)
+        )
+        t = finish
+    return Schedule(requirement, tuple(assignments))
+
+
+def is_feasible(available: ResourceSet, requirement: ComplexRequirement) -> bool:
+    """Theorem 2 as a predicate."""
+    return find_schedule(available, requirement) is not None
+
+
+def earliest_finish_time(
+    available: ResourceSet, requirement: ComplexRequirement
+) -> Optional[Time]:
+    """The earliest completion time of the whole computation, ignoring the
+    deadline (useful for laxity metrics); ``None`` when never completable."""
+    t = requirement.start
+    for demands in requirement.phases:
+        finish = earliest_phase_finish(available, demands, t)
+        if finish is None:
+            return None
+        t = finish
+    return t

@@ -1,0 +1,59 @@
+"""Theorem 1 — single-action accommodation.
+
+The satisfaction function ``f(Theta, rho(gamma, s, d))`` returns whether
+the resources existing within ``(s, d)`` cover the action's amounts:
+``U_s^d Theta >= Phi(gamma)``.  Theorem 1: a single-action computation can
+be accommodated iff the action is possible by ``s`` and ``f`` holds.
+
+Besides the boolean answer the module produces a :class:`SimpleCheck`
+report with per-type shortfalls — a practical necessity for callers that
+must decide *where* to look for more resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.computation.requirements import SimpleRequirement
+from repro.intervals.interval import Time
+from repro.resources.located_type import LocatedType
+from repro.resources.resource_set import ResourceSet
+
+
+@dataclass(frozen=True)
+class SimpleCheck:
+    """Outcome of evaluating ``f`` on one simple requirement."""
+
+    satisfied: bool
+    #: quantity available within the window, per demanded type
+    available: Mapping[LocatedType, Time]
+    #: max(0, demand - available), per demanded type
+    shortfall: Mapping[LocatedType, Time]
+
+    @property
+    def total_shortfall(self) -> Time:
+        return sum(self.shortfall.values())
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def satisfies(available: ResourceSet, requirement: SimpleRequirement) -> bool:
+    """The paper's ``f(Theta, rho(gamma, s, d))``."""
+    return requirement.satisfied_by(available)
+
+
+def check(available: ResourceSet, requirement: SimpleRequirement) -> SimpleCheck:
+    """``f`` with a per-type availability/shortfall report."""
+    supply: dict[LocatedType, Time] = {}
+    shortfall: dict[LocatedType, Time] = {}
+    satisfied = True
+    for ltype, demand in requirement.demands.items():
+        have = available.quantity(ltype, requirement.window)
+        supply[ltype] = have
+        missing = max(0, demand - have)
+        shortfall[ltype] = missing
+        if missing > 0:
+            satisfied = False
+    return SimpleCheck(satisfied, supply, shortfall)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ROTA reproduction.
+
+All library-specific exceptions derive from :class:`RotaError`, so callers
+can catch a single base class at API boundaries.  Each subclass corresponds
+to one family of misuse or model violation; none of them is raised for
+ordinary "the answer is infeasible" outcomes, which are reported as values.
+"""
+
+from __future__ import annotations
+
+
+class RotaError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidIntervalError(RotaError, ValueError):
+    """An interval was constructed or used with inconsistent endpoints."""
+
+
+class InvalidTermError(RotaError, ValueError):
+    """A resource term violates its invariants (e.g. negative rate)."""
+
+
+class UndefinedOperationError(RotaError, ValueError):
+    """A partial operation was applied outside its domain.
+
+    The paper defines several *partial* operations — most notably the
+    relative complement of resource sets, which is defined only when every
+    term of the subtrahend is dominated by a term of the minuend.  Applying
+    such an operation outside its domain raises this error rather than
+    silently producing negative resources (the paper: "resource terms
+    cannot be negative").
+    """
+
+
+class LocatedTypeMismatchError(RotaError, ValueError):
+    """An operation mixed resource terms of different located types."""
+
+
+class InvalidComputationError(RotaError, ValueError):
+    """A computation's structure violates the model (e.g. empty phase,
+    deadline before start, or actions out of sequence)."""
+
+
+class TransitionError(RotaError, ValueError):
+    """A labeled transition rule was applied to a state outside its
+    precondition (e.g. accommodating a computation past its deadline)."""
+
+
+class FormulaError(RotaError, ValueError):
+    """A ROTA formula is malformed or evaluated against an unsuitable
+    model/path combination."""
+
+
+class SimulationError(RotaError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent configuration."""
+
+
+class WorkloadError(RotaError, ValueError):
+    """A workload generator received inconsistent parameters."""

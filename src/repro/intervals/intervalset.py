@@ -1,0 +1,178 @@
+"""Canonical sets of disjoint intervals.
+
+The paper applies set operations — union, intersection, relative
+complement — to time intervals.  A single operation on two intervals can
+produce several disjoint pieces, so the natural closed domain is a *set of
+disjoint intervals*.  :class:`IntervalSet` maintains the canonical form
+(sorted, pairwise disjoint, non-adjacent, non-empty), under which equality
+of interval sets is plain structural equality.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Sequence
+
+from repro.intervals.interval import Interval, Time
+
+
+def _canonicalise(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    items = sorted(
+        (i for i in intervals if not i.is_empty), key=lambda i: (i.start, i.end)
+    )
+    merged: list[Interval] = []
+    for item in items:
+        if merged and item.start <= merged[-1].end:
+            last = merged[-1]
+            if item.end > last.end:
+                merged[-1] = Interval(last.start, item.end)
+        else:
+            merged.append(item)
+    return tuple(merged)
+
+
+class IntervalSet:
+    """An immutable union of disjoint half-open intervals.
+
+    Supports the boolean algebra the paper needs for resource-set
+    manipulation: ``|`` (union), ``&`` (intersection), ``-`` (relative
+    complement), plus measure and membership queries.
+    """
+
+    __slots__ = ("_pieces",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._pieces: tuple[Interval, ...] = _canonicalise(intervals)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def point_span(cls, start: Time, end: Time) -> "IntervalSet":
+        """A set holding the single interval ``[start, end)``."""
+        return cls((Interval(start, end),))
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return _EMPTY_SET
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def pieces(self) -> tuple[Interval, ...]:
+        """The canonical disjoint pieces, sorted by start."""
+        return self._pieces
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._pieces
+
+    @property
+    def measure(self) -> Time:
+        """Total length of the set."""
+        total: Time = 0
+        for piece in self._pieces:
+            total += piece.duration
+        return total
+
+    @property
+    def span(self) -> Interval:
+        """Smallest single interval covering the set (empty when empty)."""
+        if not self._pieces:
+            return Interval(0, 0)
+        return Interval(self._pieces[0].start, self._pieces[-1].end)
+
+    def contains_point(self, t: Time) -> bool:
+        idx = bisect.bisect_right([p.start for p in self._pieces], t) - 1
+        return idx >= 0 and self._pieces[idx].contains_point(t)
+
+    def contains(self, other: "IntervalSet") -> bool:
+        """Whether ``other`` is a subset of this set."""
+        return (other - self).is_empty
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self._pieces + other._pieces)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out: list[Interval] = []
+        a, b = self._pieces, other._pieces
+        i = j = 0
+        while i < len(a) and j < len(b):
+            common = a[i].intersection(b[j])
+            if not common.is_empty:
+                out.append(common)
+            if a[i].end <= b[j].end:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        out: list[Interval] = []
+        for piece in self._pieces:
+            remainder: list[Interval] = [piece]
+            for cut in other._pieces:
+                if cut.start >= piece.end:
+                    break
+                next_remainder: list[Interval] = []
+                for part in remainder:
+                    next_remainder.extend(part.difference(cut))
+                remainder = next_remainder
+                if not remainder:
+                    break
+            out.extend(remainder)
+        return IntervalSet(out)
+
+    def complement_within(self, window: Interval) -> "IntervalSet":
+        """The part of ``window`` not covered by this set."""
+        return IntervalSet((window,)).difference(self)
+
+    def clamp(self, window: Interval) -> "IntervalSet":
+        """Intersection with a single window interval."""
+        return self.intersection(IntervalSet((window,)))
+
+    # Operator sugar -----------------------------------------------------
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._pieces == other._pieces
+
+    def __hash__(self) -> int:
+        return hash(self._pieces)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._pieces)
+
+    def __len__(self) -> int:
+        return len(self._pieces)
+
+    def __bool__(self) -> bool:
+        return bool(self._pieces)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(piece) for piece in self._pieces)
+        return f"IntervalSet([{inner}])"
+
+
+_EMPTY_SET = IntervalSet()
+
+
+def coalesce(intervals: Sequence[Interval]) -> tuple[Interval, ...]:
+    """Public helper exposing canonicalisation for raw interval sequences."""
+    return _canonicalise(intervals)

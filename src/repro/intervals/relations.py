@@ -1,0 +1,159 @@
+"""Allen's interval relations (paper Table I).
+
+The paper adopts Interval Algebra [Allen 1983] to formalise relations
+between the time intervals attached to resource terms.  Table I of the
+paper lists seven base relations — before, equal, during, meets, overlaps,
+starts, finishes — "or thirteen if we count the inverse relations".  This
+module implements the full set of thirteen, a total function
+:func:`relate` assigning the unique relation holding between two non-empty
+intervals, and the converse (inverse) operation.
+
+Relations are defined on the endpoint order, so they are identical for the
+open/closed/half-open reading of an interval as long as ``start < end``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.errors import InvalidIntervalError
+from repro.intervals.interval import Interval
+
+
+class Relation(enum.Enum):
+    """The thirteen Allen relations.
+
+    Member values are the conventional short names used in the interval
+    algebra literature; ``symbol`` carries the paper's Table I notation
+    where one exists.
+    """
+
+    BEFORE = "b"          # tau1 < tau2
+    AFTER = "bi"          # tau1 > tau2        (inverse of BEFORE)
+    MEETS = "m"           # tau1 meets tau2
+    MET_BY = "mi"         # inverse of MEETS
+    OVERLAPS = "o"        # tau1 overlaps tau2
+    OVERLAPPED_BY = "oi"  # inverse of OVERLAPS
+    STARTS = "s"          # tau1 starts tau2
+    STARTED_BY = "si"     # inverse of STARTS
+    DURING = "d"          # tau1 during tau2
+    CONTAINS = "di"       # inverse of DURING
+    FINISHES = "f"        # tau1 finishes tau2
+    FINISHED_BY = "fi"    # inverse of FINISHES
+    EQUALS = "eq"         # tau1 equals tau2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation.{self.name}"
+
+
+#: All thirteen relations, in a stable canonical order.
+ALL_RELATIONS: tuple[Relation, ...] = (
+    Relation.BEFORE,
+    Relation.AFTER,
+    Relation.MEETS,
+    Relation.MET_BY,
+    Relation.OVERLAPS,
+    Relation.OVERLAPPED_BY,
+    Relation.STARTS,
+    Relation.STARTED_BY,
+    Relation.DURING,
+    Relation.CONTAINS,
+    Relation.FINISHES,
+    Relation.FINISHED_BY,
+    Relation.EQUALS,
+)
+
+#: The paper's Table I lists these seven; the remaining six are inverses.
+BASE_RELATIONS: tuple[Relation, ...] = (
+    Relation.BEFORE,
+    Relation.EQUALS,
+    Relation.DURING,
+    Relation.MEETS,
+    Relation.OVERLAPS,
+    Relation.STARTS,
+    Relation.FINISHES,
+)
+
+_CONVERSE: Dict[Relation, Relation] = {
+    Relation.BEFORE: Relation.AFTER,
+    Relation.AFTER: Relation.BEFORE,
+    Relation.MEETS: Relation.MET_BY,
+    Relation.MET_BY: Relation.MEETS,
+    Relation.OVERLAPS: Relation.OVERLAPPED_BY,
+    Relation.OVERLAPPED_BY: Relation.OVERLAPS,
+    Relation.STARTS: Relation.STARTED_BY,
+    Relation.STARTED_BY: Relation.STARTS,
+    Relation.DURING: Relation.CONTAINS,
+    Relation.CONTAINS: Relation.DURING,
+    Relation.FINISHES: Relation.FINISHED_BY,
+    Relation.FINISHED_BY: Relation.FINISHES,
+    Relation.EQUALS: Relation.EQUALS,
+}
+
+#: Human-readable interpretation, mirroring Table I's wording.
+INTERPRETATION: Dict[Relation, str] = {
+    Relation.BEFORE: "tau1 before tau2",
+    Relation.AFTER: "tau1 after tau2",
+    Relation.EQUALS: "tau1 equals tau2",
+    Relation.DURING: "tau1 during tau2",
+    Relation.CONTAINS: "tau1 contains tau2",
+    Relation.MEETS: "tau1 meets tau2",
+    Relation.MET_BY: "tau1 met by tau2",
+    Relation.OVERLAPS: "tau1 overlaps tau2",
+    Relation.OVERLAPPED_BY: "tau1 overlapped by tau2",
+    Relation.STARTS: "tau1 starts tau2",
+    Relation.STARTED_BY: "tau1 started by tau2",
+    Relation.FINISHES: "tau1 finishes tau2",
+    Relation.FINISHED_BY: "tau1 finished by tau2",
+}
+
+
+def converse(relation: Relation) -> Relation:
+    """The inverse relation: if ``r`` holds for (i, j), ``converse(r)``
+    holds for (j, i)."""
+    return _CONVERSE[relation]
+
+
+def is_inverse_pair(a: Relation, b: Relation) -> bool:
+    """Whether ``a`` and ``b`` are converses of each other."""
+    return _CONVERSE[a] is b
+
+
+def relate(i: Interval, j: Interval) -> Relation:
+    """The unique Allen relation holding between two non-empty intervals.
+
+    Raises :class:`InvalidIntervalError` for empty intervals, for which no
+    Allen relation is defined (the paper only defines resources over
+    non-empty intervals).
+    """
+    if i.is_empty or j.is_empty:
+        raise InvalidIntervalError(
+            "Allen relations are defined only for non-empty intervals"
+        )
+    if i.end < j.start:
+        return Relation.BEFORE
+    if j.end < i.start:
+        return Relation.AFTER
+    if i.end == j.start:
+        return Relation.MEETS
+    if j.end == i.start:
+        return Relation.MET_BY
+    if i.start == j.start and i.end == j.end:
+        return Relation.EQUALS
+    if i.start == j.start:
+        return Relation.STARTS if i.end < j.end else Relation.STARTED_BY
+    if i.end == j.end:
+        return Relation.FINISHES if i.start > j.start else Relation.FINISHED_BY
+    if j.start < i.start and i.end < j.end:
+        return Relation.DURING
+    if i.start < j.start and j.end < i.end:
+        return Relation.CONTAINS
+    if i.start < j.start:
+        return Relation.OVERLAPS
+    return Relation.OVERLAPPED_BY
+
+
+def holds(relation: Relation, i: Interval, j: Interval) -> bool:
+    """Whether the given relation holds between ``i`` and ``j``."""
+    return relate(i, j) is relation

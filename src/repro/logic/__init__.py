@@ -1,0 +1,101 @@
+"""ROTA — the resource-oriented temporal logic (paper Section V).
+
+System states, labeled transition rules, well-formed formulas, computation
+paths, and the satisfaction relation ``M, sigma, t |= psi``.
+"""
+
+from repro.logic.ctl import (
+    AF,
+    AG,
+    EF,
+    EG,
+    EX,
+    AX,
+    StateAtom,
+    TreeChecker,
+    check_tree,
+)
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    Always,
+    And,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    Satisfy,
+    TrueFormula,
+    always,
+    eventually,
+    satisfy,
+)
+from repro.logic.model import RotaModel
+from repro.logic.paths import (
+    MAX_TREE_NODES,
+    ComputationPath,
+    enumerate_paths,
+    exists_path,
+    greedy_path,
+)
+from repro.logic.semantics import exists_on_some_path, holds_on_all_paths, models
+from repro.logic.state import ActorProgress, SystemState, initial_state
+from repro.logic.transitions import (
+    Transition,
+    TransitionLabel,
+    accommodate,
+    acquire,
+    expire,
+    greedy_allocations,
+    leave,
+    step,
+    successors,
+)
+
+__all__ = [
+    "AF",
+    "AG",
+    "EF",
+    "EG",
+    "EX",
+    "AX",
+    "StateAtom",
+    "TreeChecker",
+    "check_tree",
+    "FALSE",
+    "TRUE",
+    "Always",
+    "And",
+    "Eventually",
+    "FalseFormula",
+    "Formula",
+    "Not",
+    "Or",
+    "Satisfy",
+    "TrueFormula",
+    "always",
+    "eventually",
+    "satisfy",
+    "RotaModel",
+    "MAX_TREE_NODES",
+    "ComputationPath",
+    "enumerate_paths",
+    "exists_path",
+    "greedy_path",
+    "exists_on_some_path",
+    "holds_on_all_paths",
+    "models",
+    "ActorProgress",
+    "SystemState",
+    "initial_state",
+    "Transition",
+    "TransitionLabel",
+    "accommodate",
+    "acquire",
+    "expire",
+    "greedy_allocations",
+    "leave",
+    "step",
+    "successors",
+]

@@ -1,0 +1,242 @@
+"""Branching-time (CTL-style) checking over the ROTA evolution tree.
+
+The paper's semantics quantifies formulas along one computation path; its
+prose, however, speaks in branching terms — "a computation can
+*eventually* be accommodated", "can *always* be accommodated" — which mix
+path quantifiers (some/every evolution) with temporal ones.  This module
+makes the full set of combinations first class over the quantised tree:
+
+=============  ==================================================
+``EX``/``AX``  some/every successor state
+``EF``/``AF``  some/every path reaches a state satisfying p
+``EG``/``AG``  some/every path keeps p invariant
+=============  ==================================================
+
+State formulas are predicates over :class:`SystemState` — either a plain
+callable or a :class:`StateAtom` wrapping the paper's ``satisfy`` against
+the state's *remaining* availability net of accommodated demand.  The
+checker is a memoised depth-first evaluation with the horizon as the
+finite-path cutoff (at the horizon, ``EG``/``AG`` hold vacuously and
+``EF``/``AF`` reduce to "now").
+
+Cross-validation: ``tests/test_logic_ctl.py`` checks every operator
+against brute-force path enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple, Union
+
+from repro.computation.requirements import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+    SimpleRequirement,
+)
+from repro.decision.concurrent import find_concurrent_schedule
+from repro.decision.sequential import find_schedule
+from repro.errors import FormulaError
+from repro.intervals.interval import Interval, Time
+from repro.logic.state import SystemState
+from repro.logic.transitions import successors
+
+StatePredicate = Callable[[SystemState], bool]
+
+
+@dataclass(frozen=True)
+class StateAtom:
+    """``satisfy(rho)`` read against a state: can the state's remaining
+    resources (net of its accommodated computations' outstanding demand)
+    accommodate the requirement?"""
+
+    requirement: Union[SimpleRequirement, ComplexRequirement, ConcurrentRequirement]
+
+    def __call__(self, state: SystemState) -> bool:
+        requirement = self.requirement
+        deadline = requirement.deadline
+        if state.t >= deadline:
+            return False
+        window = Interval(max(requirement.start, state.t), deadline)
+        available = state.theta.restrict(Interval(state.t, deadline))
+        # Outstanding demand of accommodated computations is spoken for:
+        # net it out, order-blind (a sound over-approximation of what the
+        # committed path will consume inside the window).
+        for progress in state.pending:
+            for index in range(progress.phase, len(progress.requirement.phases)):
+                demands = (
+                    progress.current_demands
+                    if index == progress.phase
+                    else progress.requirement.phases[index]
+                )
+                for ltype, quantity in demands.items():
+                    profile = available.profile(ltype)
+                    have = profile.integral(window)
+                    if have <= 0:
+                        continue
+                    # subtract by shaving quantity off the window's tail
+                    take = min(quantity, have)
+                    available = _shave(available, ltype, window, take)
+        if isinstance(requirement, SimpleRequirement):
+            return SimpleRequirement(requirement.demands, window).satisfied_by(
+                available
+            )
+        if isinstance(requirement, ComplexRequirement):
+            clipped = ComplexRequirement(
+                requirement.phases, window, label=requirement.label
+            )
+            return find_schedule(available, clipped) is not None
+        clipped_parts = tuple(
+            ComplexRequirement(
+                part.phases,
+                Interval(max(part.start, state.t), part.deadline),
+                label=part.label,
+            )
+            for part in requirement.components
+            if state.t < part.deadline
+        )
+        if len(clipped_parts) != len(requirement.components):
+            return False
+        bundle = ConcurrentRequirement(clipped_parts, window)
+        return find_concurrent_schedule(available, bundle) is not None
+
+
+def _shave(available, ltype, window, quantity):
+    """Remove ``quantity`` of ``ltype`` from the *latest* part of the
+    window (order-blind accounting: latest-first keeps early supply for
+    feasibility checks, which only makes the atom more conservative for
+    the newcomer)."""
+    from repro.resources.resource_set import ResourceSet
+
+    profile = available.profile(ltype)
+    remaining = quantity
+    # walk segments from the window end backwards
+    segments = [
+        (segment.intersection(window), rate)
+        for segment, rate in profile.segments()
+        if not segment.intersection(window).is_empty
+    ]
+    shaved = profile
+    for segment, rate in reversed(segments):
+        if remaining <= 0:
+            break
+        capacity = rate * segment.duration
+        take = min(capacity, remaining)
+        from repro.resources.profile import RateProfile, exact_div
+
+        length = exact_div(take, rate)
+        cut = RateProfile.constant(
+            rate, Interval(segment.end - length, segment.end)
+        )
+        shaved = shaved.subtract(cut)
+        remaining -= take
+    profiles = dict(available.profiles())
+    profiles[ltype] = shaved
+    return ResourceSet.from_profiles(profiles)
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Op:
+    kind: str  # EX AX EF AF EG AG
+    predicate: StatePredicate
+
+
+def EX(p: StatePredicate) -> _Op:
+    """Some successor satisfies p."""
+    return _Op("EX", p)
+
+
+def AX(p: StatePredicate) -> _Op:
+    """Every successor satisfies p."""
+    return _Op("AX", p)
+
+
+def EF(p: StatePredicate) -> _Op:
+    """Some path reaches p before the horizon."""
+    return _Op("EF", p)
+
+
+def AF(p: StatePredicate) -> _Op:
+    """Every path reaches p before the horizon."""
+    return _Op("AF", p)
+
+
+def EG(p: StatePredicate) -> _Op:
+    """Some path keeps p invariant up to the horizon."""
+    return _Op("EG", p)
+
+
+def AG(p: StatePredicate) -> _Op:
+    """Every reachable state up to the horizon satisfies p."""
+    return _Op("AG", p)
+
+
+class TreeChecker:
+    """Memoised CTL evaluation over the quantised evolution tree."""
+
+    def __init__(self, horizon: Time, *, dt: int = 1) -> None:
+        if dt <= 0:
+            raise FormulaError("dt must be positive")
+        self._horizon = horizon
+        self._dt = dt
+        self._memo: Dict[Tuple[str, int, SystemState], bool] = {}
+
+    def check(self, state: SystemState, formula: _Op | StatePredicate) -> bool:
+        if not isinstance(formula, _Op):
+            return bool(formula(state))
+        return self._eval(formula, state)
+
+    # ------------------------------------------------------------------
+    def _children(self, state: SystemState):
+        if state.t >= self._horizon:
+            return []
+        return [transition.target for transition in successors(state, self._dt)]
+
+    def _eval(self, op: _Op, state: SystemState) -> bool:
+        key = (op.kind, id(op.predicate), state)
+        if key in self._memo:
+            return self._memo[key]
+        # Pre-seed to guard against cycles (states are time-stamped, so
+        # the tree is acyclic; the seed is belt and braces).
+        self._memo[key] = False
+        p = op.predicate
+        children = self._children(state)
+        if op.kind == "EX":
+            value = any(p(child) for child in children)
+        elif op.kind == "AX":
+            value = all(p(child) for child in children) and bool(children)
+        elif op.kind == "EF":
+            value = p(state) or any(
+                self._eval(op, child) for child in children
+            )
+        elif op.kind == "AF":
+            value = p(state) or (
+                bool(children)
+                and all(self._eval(op, child) for child in children)
+            )
+        elif op.kind == "EG":
+            value = p(state) and (
+                not children or any(self._eval(op, child) for child in children)
+            )
+        elif op.kind == "AG":
+            value = p(state) and all(
+                self._eval(op, child) for child in children
+            )
+        else:  # pragma: no cover - constructor-guarded
+            raise FormulaError(f"unknown operator {op.kind!r}")
+        self._memo[key] = value
+        return value
+
+
+def check_tree(
+    state: SystemState,
+    formula: _Op | StatePredicate,
+    horizon: Time,
+    *,
+    dt: int = 1,
+) -> bool:
+    """One-shot convenience wrapper around :class:`TreeChecker`."""
+    return TreeChecker(horizon, dt=dt).check(state, formula)

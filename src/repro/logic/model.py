@@ -1,0 +1,136 @@
+"""The ROTA system model ``M = (A, R, C, Phi)`` (paper Section V-A).
+
+``A`` — actor names; ``R`` — resource terms; ``C`` — distributed
+computations; ``Phi`` — the cost function.  :class:`RotaModel` packages
+the four, derives requirements, builds initial states, and offers the
+theorem-level queries:
+
+* :meth:`meets_deadline` — Theorem 3: does some computation path complete
+  the computation before its deadline?
+* :meth:`can_accommodate` — Theorem 4: can a newcomer be admitted against
+  the expiring slack of the committed path, without disturbing existing
+  commitments?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.computation.computation import Computation
+from repro.computation.cost_model import CostModel, DEFAULT_COST_MODEL, Placement
+from repro.computation.requirements import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+)
+from repro.decision.concurrent import find_concurrent_schedule
+from repro.decision.schedule import ConcurrentSchedule
+from repro.errors import InvalidComputationError
+from repro.intervals.interval import Time
+from repro.logic.paths import ComputationPath, exists_path, greedy_path
+from repro.logic.state import SystemState, initial_state
+from repro.logic.transitions import accommodate
+from repro.resources.resource_set import ResourceSet
+
+
+@dataclass(frozen=True)
+class RotaModel:
+    """``M = (A, R, C, Phi)``."""
+
+    resources: ResourceSet
+    computations: tuple[Computation, ...] = ()
+    cost_model: CostModel = DEFAULT_COST_MODEL
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "computations", tuple(self.computations))
+        names = [a.name for c in self.computations for a in c.actors]
+        if len(set(names)) != len(names):
+            raise InvalidComputationError(
+                "actor names must be globally unique across the model"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def actor_names(self) -> tuple[str, ...]:
+        """``A`` — every actor name in the model."""
+        return tuple(a.name for c in self.computations for a in c.actors)
+
+    def placement(self) -> Placement:
+        """Union of each computation's default placement."""
+        merged = Placement()
+        for computation in self.computations:
+            for actor in computation.actors:
+                merged.place(actor.name, actor.home)
+        return merged
+
+    def requirement_of(self, computation: Computation) -> ConcurrentRequirement:
+        """``rho(Lambda, s, d)`` under the model's ``Phi``."""
+        return computation.requirement(self.cost_model, self.placement())
+
+    # ------------------------------------------------------------------
+    def initial_state(self, t: Time = 0, *, accommodated: bool = True) -> SystemState:
+        """``S_0``; with ``accommodated=True`` every computation in ``C``
+        has already been accommodated (its requirement is in ``rho``)."""
+        state = initial_state(self.resources, t)
+        if accommodated:
+            for computation in self.computations:
+                state = accommodate(state, self.requirement_of(computation))
+        return state
+
+    # ------------------------------------------------------------------
+    # Theorem-level queries
+    # ------------------------------------------------------------------
+    def meets_deadline(
+        self,
+        computation: Computation,
+        *,
+        dt: int = 1,
+        exhaustive: bool = False,
+    ) -> Optional[ComputationPath]:
+        """Theorem 3: a computation path on which ``computation`` finishes
+        by its deadline, or None.
+
+        With ``exhaustive=False`` only the canonical greedy branch is
+        followed (linear); with ``exhaustive=True`` the full quantised
+        tree is searched (exponential, exact).
+        """
+        requirement = self.requirement_of(computation)
+        state = accommodate(initial_state(self.resources, 0), requirement)
+        horizon = computation.deadline
+        labels = [part.label for part in requirement.components]
+
+        def finished(path: ComputationPath) -> bool:
+            return all(path.completes(label) for label in labels)
+
+        if not exhaustive:
+            path = greedy_path(state, horizon, dt)
+            return path if finished(path) else None
+        return exists_path(state, horizon, finished, dt)
+
+    def can_accommodate(
+        self,
+        committed_path: ComputationPath,
+        newcomer: Computation | ConcurrentRequirement | ComplexRequirement,
+        *,
+        at: Time = 0,
+        exhaustive: bool = False,
+    ) -> Optional[ConcurrentSchedule]:
+        """Theorem 4: admit ``newcomer`` against the expiring resources of
+        ``committed_path`` during its window — existing commitments are
+        untouched.  Returns the newcomer's witness schedule or None.
+        """
+        if isinstance(newcomer, Computation):
+            requirement = self.requirement_of(newcomer)
+        elif isinstance(newcomer, ComplexRequirement):
+            requirement = ConcurrentRequirement((newcomer,), newcomer.window)
+        else:
+            requirement = newcomer
+        from repro.intervals.interval import Interval
+
+        window = Interval(max(requirement.start, at), requirement.deadline)
+        if window.is_empty:
+            return None
+        opportunity = committed_path.expiring_resources(window)
+        return find_concurrent_schedule(
+            opportunity, requirement, exhaustive=exhaustive
+        )

@@ -1,0 +1,199 @@
+"""Computation paths and the evolution tree (paper Definition 2).
+
+A *computation path* is one branch of the tree that the transition
+relation ``chi`` produces from a state: a maximal sequence of states
+connected by timed transitions.  The tree of all branches represents
+every possible evolution of the system; Theorem 3 asks whether *some*
+branch completes a computation before its deadline.
+
+:class:`ComputationPath` wraps a concrete branch and exposes the two
+queries the semantics needs:
+
+* the state (and time points) along the path, and
+* ``Theta_expire`` — the union of resources that expire unused along the
+  path during a window.  "These are unwanted resources which will expire
+  unless new computations requiring them enter the system", i.e. the
+  opportunity a newcomer can exploit (Theorem 4).
+
+:func:`enumerate_paths` generates every branch of the quantised tree up to
+a horizon — exact but exponential, so guarded by an exploration budget.
+:func:`greedy_path` follows the canonical maximal-allocation branch in
+linear time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.intervals.interval import Interval, Time
+from repro.logic.state import SystemState
+from repro.logic.transitions import (
+    Transition,
+    greedy_allocations,
+    step,
+    successors,
+)
+from repro.resources.located_type import LocatedType
+from repro.resources.profile import RateProfile, exact_div
+from repro.resources.resource_set import ResourceSet
+
+#: Budget for exhaustive tree exploration.
+MAX_TREE_NODES = 500_000
+
+
+@dataclass(frozen=True)
+class ComputationPath:
+    """One branch: ``(S_0, S_1, ..., S_n)`` plus the labels between."""
+
+    transitions: tuple[Transition, ...]
+    initial: SystemState
+
+    def __post_init__(self) -> None:
+        previous = self.initial
+        for transition in self.transitions:
+            if transition.source != previous:
+                raise SimulationError("transitions do not chain into a path")
+            previous = transition.target
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> tuple[SystemState, ...]:
+        return (self.initial, *(tr.target for tr in self.transitions))
+
+    @property
+    def final(self) -> SystemState:
+        return self.transitions[-1].target if self.transitions else self.initial
+
+    @property
+    def times(self) -> tuple[Time, ...]:
+        return tuple(state.t for state in self.states)
+
+    def state_at(self, t: Time) -> SystemState:
+        """The path's state in effect at time ``t`` (latest state whose
+        time does not exceed ``t``)."""
+        chosen = self.initial
+        for state in self.states:
+            if state.t <= t:
+                chosen = state
+            else:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------
+    def expiring_resources(self, window: Interval) -> ResourceSet:
+        """``U Theta_expire`` restricted to ``window``.
+
+        Each timed transition records how much of each type expired unused
+        during its slice; re-expressed as rate terms over the slice and
+        clipped to the window, their union is the path's unclaimed
+        opportunity.
+        """
+        profiles: Dict[LocatedType, RateProfile] = {}
+        for transition in self.transitions:
+            label = transition.label
+            slice_window = Interval(
+                transition.source.t, transition.source.t + label.dt
+            )
+            clipped = slice_window.intersection(window)
+            if clipped.is_empty:
+                continue
+            for ltype, unused in label.expired:
+                rate = exact_div(unused, label.dt)
+                profiles[ltype] = profiles.get(ltype, RateProfile.zero()) + (
+                    RateProfile.constant(rate, clipped)
+                )
+        # Availability beyond the explored part of the path also expires
+        # unless claimed: the final state's theta within the window, minus
+        # nothing (no commitments are modelled past the path's end).
+        tail_start = max(self.final.t, window.start)
+        if tail_start < window.end:
+            tail = self.final.theta.restrict(Interval(tail_start, window.end))
+            out = ResourceSet.from_profiles(profiles) | tail
+            return out
+        return ResourceSet.from_profiles(profiles)
+
+    def completes(self, label: str) -> bool:
+        """Whether the computation finished before its deadline on this
+        path."""
+        for state in self.states:
+            try:
+                progress = state.progress_of(label)
+            except KeyError:
+                continue
+            if progress.is_complete and state.t <= progress.deadline:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+
+def greedy_path(
+    initial: SystemState,
+    horizon: Time,
+    dt: Time = 1,
+) -> ComputationPath:
+    """The canonical branch: maximal first-come allocation each slice."""
+    transitions: list[Transition] = []
+    state = initial
+    while state.t < horizon:
+        allocations = greedy_allocations(state, dt)
+        transition = step(state, dt, allocations)
+        transitions.append(transition)
+        state = transition.target
+    return ComputationPath(tuple(transitions), initial)
+
+
+def enumerate_paths(
+    initial: SystemState,
+    horizon: Time,
+    dt: int = 1,
+    *,
+    prune: Optional[Callable[[SystemState], bool]] = None,
+) -> Iterator[ComputationPath]:
+    """Every branch of the quantised evolution tree up to ``horizon``.
+
+    ``prune(state)`` may return True to cut a subtree (e.g. a deadline has
+    already been missed for the computation of interest).  Raises
+    :class:`SimulationError` when the tree exceeds :data:`MAX_TREE_NODES`.
+    """
+    explored = 0
+
+    def rec(
+        state: SystemState, prefix: tuple[Transition, ...]
+    ) -> Iterator[ComputationPath]:
+        nonlocal explored
+        explored += 1
+        if explored > MAX_TREE_NODES:
+            raise SimulationError(
+                f"path enumeration exceeded {MAX_TREE_NODES} nodes"
+            )
+        if state.t >= horizon:
+            yield ComputationPath(prefix, initial)
+            return
+        if prune is not None and prune(state):
+            yield ComputationPath(prefix, initial)
+            return
+        for transition in successors(state, dt):
+            yield from rec(transition.target, prefix + (transition,))
+
+    yield from rec(initial, ())
+
+
+def exists_path(
+    initial: SystemState,
+    horizon: Time,
+    predicate: Callable[[ComputationPath], bool],
+    dt: int = 1,
+) -> Optional[ComputationPath]:
+    """First branch satisfying ``predicate``, or None.
+
+    The executable form of Theorem 3's "there exists a computation path
+    sigma such that ...".
+    """
+    for path in enumerate_paths(initial, horizon, dt):
+        if predicate(path):
+            return path
+    return None

@@ -1,0 +1,214 @@
+"""The satisfaction relation ``M, sigma, t |= psi`` (paper Figure 1).
+
+Clauses, as implemented:
+
+* ``M, sigma, t |= true`` always; ``|= false`` never.
+* ``M, sigma, t |= satisfy(rho(gamma, s, d))`` iff
+  ``f(U Theta_expire over (max(s,t), d) along sigma, rho) = true`` —
+  the resources that would otherwise expire along the path can fuel the
+  action.
+* ``M, sigma, t |= satisfy(rho(Gamma, s, d))`` iff breakpoints
+  ``t_1 < ... < t_{m-1}`` exist such that every phase's simple
+  requirement is satisfied in its subinterval — decided by the Theorem 2
+  procedure against the path's expiring resources.
+* ``M, sigma, t |= satisfy(rho(Lambda, s, d))`` iff every component can be
+  accommodated — decided by one-at-a-time admission (the paper's own
+  reduction), optionally exhaustively over admission orders.
+* ``M, sigma, t |= not psi`` iff not ``M, sigma, t |= psi``.
+* ``M, sigma, t |= eventually psi`` iff ``M, sigma, t' |= psi`` for some
+  path time ``t' > t``.
+* ``M, sigma, t |= always psi`` iff ``M, sigma, t' |= psi`` for every
+  path time ``t' > t``.
+
+Interpretation notes (the paper's Figure 1 is partly garbled in the
+source; EXPERIMENTS.md records these choices):
+
+* Temporal operators quantify over the *remaining time points of the same
+  path* — the standard linear reading.  Branching (existential) readings
+  are available through :func:`exists_on_some_path` /
+  :func:`holds_on_all_paths`, which quantify the linear judgement over the
+  evolution tree.
+* "t' > t" ranges over the discrete state times of the quantised path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.computation.requirements import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+    SimpleRequirement,
+)
+from repro.decision.concurrent import find_concurrent_schedule
+from repro.decision.sequential import find_schedule
+from repro.errors import FormulaError
+from repro.intervals.interval import Interval, Time
+from repro.logic.formula import (
+    Always,
+    And,
+    Eventually,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    Satisfy,
+    TrueFormula,
+)
+from repro.logic.paths import ComputationPath, enumerate_paths
+from repro.logic.state import SystemState
+from repro.resources.resource_set import ResourceSet
+
+
+def _opportunity(path: ComputationPath, t: Time, start: Time, deadline: Time) -> ResourceSet:
+    """``U Theta_expire`` over ``(max(s, t), d)`` along the path."""
+    lo = max(start, t)
+    if lo >= deadline:
+        return ResourceSet.empty()
+    return path.expiring_resources(Interval(lo, deadline))
+
+
+def _satisfy_simple(
+    path: ComputationPath, t: Time, requirement: SimpleRequirement
+) -> bool:
+    if t >= requirement.deadline:
+        # The window has closed; nothing with positive demand can be
+        # satisfied any more.
+        return requirement.demands.is_empty
+    opportunity = _opportunity(path, t, requirement.start, requirement.deadline)
+    effective = SimpleRequirement(
+        requirement.demands,
+        Interval(max(requirement.start, t), requirement.deadline),
+    ) if t > requirement.start else requirement
+    return effective.satisfied_by(opportunity)
+
+
+def _clip(requirement: ComplexRequirement, t: Time) -> Optional[ComplexRequirement]:
+    """The requirement restricted to start no earlier than ``t``; None when
+    its window has closed."""
+    if t <= requirement.start:
+        return requirement
+    if t >= requirement.deadline:
+        return None
+    return ComplexRequirement(
+        requirement.phases,
+        Interval(t, requirement.deadline),
+        label=requirement.label,
+    )
+
+
+def _satisfy_complex(
+    path: ComputationPath, t: Time, requirement: ComplexRequirement
+) -> bool:
+    clipped = _clip(requirement, t)
+    if clipped is None:
+        return False
+    opportunity = _opportunity(path, t, requirement.start, requirement.deadline)
+    return find_schedule(opportunity, clipped) is not None
+
+
+def _satisfy_concurrent(
+    path: ComputationPath,
+    t: Time,
+    requirement: ConcurrentRequirement,
+    *,
+    exhaustive: bool,
+) -> bool:
+    components = []
+    for part in requirement.components:
+        clipped = _clip(part, t)
+        if clipped is None:
+            return False
+        components.append(clipped)
+    window = Interval(max(requirement.start, t), requirement.deadline)
+    if window.is_empty:
+        return False
+    opportunity = _opportunity(path, t, requirement.start, requirement.deadline)
+    effective = ConcurrentRequirement(tuple(components), window)
+    return (
+        find_concurrent_schedule(opportunity, effective, exhaustive=exhaustive)
+        is not None
+    )
+
+
+def models(
+    path: ComputationPath,
+    t: Time,
+    formula: Formula,
+    *,
+    exhaustive: bool = False,
+) -> bool:
+    """``M, sigma, t |= psi`` (the model ``M`` is implicit in the path,
+    whose states already carry ``Theta`` and ``rho``)."""
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Satisfy):
+        requirement = formula.requirement
+        if isinstance(requirement, SimpleRequirement):
+            return _satisfy_simple(path, t, requirement)
+        if isinstance(requirement, ComplexRequirement):
+            return _satisfy_complex(path, t, requirement)
+        return _satisfy_concurrent(path, t, requirement, exhaustive=exhaustive)
+    if isinstance(formula, Not):
+        return not models(path, t, formula.operand, exhaustive=exhaustive)
+    if isinstance(formula, Eventually):
+        return any(
+            models(path, later, formula.operand, exhaustive=exhaustive)
+            for later in path.times
+            if later > t
+        )
+    if isinstance(formula, Always):
+        return all(
+            models(path, later, formula.operand, exhaustive=exhaustive)
+            for later in path.times
+            if later > t
+        )
+    if isinstance(formula, And):
+        return models(path, t, formula.left, exhaustive=exhaustive) and models(
+            path, t, formula.right, exhaustive=exhaustive
+        )
+    if isinstance(formula, Or):
+        return models(path, t, formula.left, exhaustive=exhaustive) or models(
+            path, t, formula.right, exhaustive=exhaustive
+        )
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+# ----------------------------------------------------------------------
+# Branching-time helpers over the evolution tree
+# ----------------------------------------------------------------------
+
+def exists_on_some_path(
+    initial: SystemState,
+    horizon: Time,
+    formula: Formula,
+    *,
+    dt: int = 1,
+    at: Optional[Time] = None,
+) -> Optional[ComputationPath]:
+    """A path from ``initial`` on which the formula holds (at time ``at``,
+    default the initial state's time), or None.  The executable form of
+    "a computation can *eventually* be accommodated" style claims."""
+    t = initial.t if at is None else at
+    for path in enumerate_paths(initial, horizon, dt):
+        if models(path, t, formula):
+            return path
+    return None
+
+
+def holds_on_all_paths(
+    initial: SystemState,
+    horizon: Time,
+    formula: Formula,
+    *,
+    dt: int = 1,
+    at: Optional[Time] = None,
+) -> bool:
+    """Whether the formula holds on every branch of the evolution tree —
+    "a computation can *always* be accommodated"."""
+    t = initial.t if at is None else at
+    return all(
+        models(path, t, formula) for path in enumerate_paths(initial, horizon, dt)
+    )

@@ -1,0 +1,17 @@
+"""Choosing between courses of action (paper Section VI outlook)."""
+
+from repro.planning.alternatives import (
+    PlanOutcome,
+    best_location,
+    choose_plan,
+    evaluate_plans,
+    migration_plans,
+)
+
+__all__ = [
+    "PlanOutcome",
+    "best_location",
+    "choose_plan",
+    "evaluate_plans",
+    "migration_plans",
+]

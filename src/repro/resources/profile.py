@@ -1,0 +1,362 @@
+"""Piecewise-constant rate profiles.
+
+A resource term ``[r]_{xi}^{tau}`` contributes rate ``r`` of located type
+``xi`` throughout interval ``tau``.  Aggregating every term of one located
+type (the paper's *simplification* of resource sets) yields a
+piecewise-constant step function of time: the **rate profile**.
+
+:class:`RateProfile` is the canonical simplified form.  All resource-set
+operations reduce to profile operations:
+
+* union of terms              -> pointwise addition,
+* relative complement         -> pointwise subtraction (partial: defined
+                                 only when it never goes negative),
+* the paper's ``U_s^d Theta`` -> restriction to a window,
+* quantity over an interval   -> integration.
+
+Profiles keep exact arithmetic when fed ints/Fractions; float inputs are
+handled with a small tolerance on the non-negativity check.
+
+Representation: a sorted tuple of ``(time, rate)`` breakpoints.  The rate
+of the profile is 0 before the first breakpoint; each breakpoint's rate
+holds from its time up to the next breakpoint's time; the final
+breakpoint's rate holds forever (so a profile with finite support ends
+with a rate-0 breakpoint).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import InvalidTermError, UndefinedOperationError
+from repro.intervals.interval import Interval, Time
+from repro.intervals.intervalset import IntervalSet
+
+#: Tolerance used when float arithmetic is involved.  Exact numeric types
+#: (int, Fraction) never need it.
+EPSILON = 1e-9
+
+
+def exact_div(numerator: Time, denominator: Time) -> Time:
+    """Division that stays exact for integer operands.
+
+    Decision procedures compare their answers against brute-force oracles;
+    exact arithmetic avoids spurious float disagreements.  Integer results
+    are returned as ints, non-integer ratios of ints as Fractions.
+    """
+    if isinstance(numerator, int) and isinstance(denominator, int):
+        from fractions import Fraction
+
+        ratio = Fraction(numerator, denominator)
+        return int(ratio) if ratio.denominator == 1 else ratio
+    return numerator / denominator
+
+
+def _normalise(points: Iterable[Tuple[Time, Time]]) -> tuple[Tuple[Time, Time], ...]:
+    """Sort breakpoints, drop repeats at equal times (last wins), and merge
+    consecutive breakpoints with equal rates."""
+    ordered = sorted(points, key=lambda p: p[0])
+    collapsed: list[Tuple[Time, Time]] = []
+    for time, rate in ordered:
+        if collapsed and collapsed[-1][0] == time:
+            collapsed[-1] = (time, rate)
+        else:
+            collapsed.append((time, rate))
+    merged: list[Tuple[Time, Time]] = []
+    for time, rate in collapsed:
+        if merged and merged[-1][1] == rate:
+            continue
+        merged.append((time, rate))
+    if merged and merged[0][1] == 0:
+        # A leading zero-rate breakpoint is redundant: the profile is zero
+        # before the first breakpoint anyway.  Consecutive equal rates were
+        # merged above, so at most one leading zero can exist.
+        merged.pop(0)
+    return tuple(merged)
+
+
+class RateProfile:
+    """An immutable, piecewise-constant, non-negative function of time."""
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Iterable[Tuple[Time, Time]] = ()) -> None:
+        pts = _normalise(points)
+        for time, rate in pts:
+            if isinstance(rate, float) and math.isnan(rate):
+                raise InvalidTermError("profile rate must not be NaN")
+            if rate < 0:
+                raise InvalidTermError(f"profile rate must be >= 0, got {rate!r} at t={time!r}")
+        self._points = pts
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, rate: Time, window: Interval) -> "RateProfile":
+        """Rate ``rate`` throughout ``window``, zero elsewhere."""
+        if window.is_empty or rate == 0:
+            return _ZERO
+        if math.isinf(window.end):
+            return cls(((window.start, rate),))
+        return cls(((window.start, rate), (window.end, 0)))
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[Tuple[Interval, Time]]) -> "RateProfile":
+        """Sum of constant segments (overlaps add, as in simplification)."""
+        profile = _ZERO
+        for window, rate in segments:
+            profile = profile + cls.constant(rate, window)
+        return profile
+
+    @classmethod
+    def zero(cls) -> "RateProfile":
+        return _ZERO
+
+    # ------------------------------------------------------------------
+    # Point and window queries
+    # ------------------------------------------------------------------
+    @property
+    def breakpoints(self) -> tuple[Tuple[Time, Time], ...]:
+        """The canonical ``(time, rate)`` breakpoints."""
+        return self._points
+
+    @property
+    def is_zero(self) -> bool:
+        return not self._points
+
+    def rate_at(self, t: Time) -> Time:
+        """The rate in effect at time ``t``."""
+        rate: Time = 0
+        for time, value in self._points:
+            if time > t:
+                break
+            rate = value
+        return rate
+
+    def segments(self) -> Iterator[Tuple[Interval, Time]]:
+        """Maximal constant-rate segments with positive rate.
+
+        A trailing positive rate yields a segment ending at ``math.inf``.
+        """
+        for (t0, rate), nxt in itertools.zip_longest(
+            self._points, self._points[1:], fillvalue=None
+        ):
+            if rate == 0:
+                continue
+            end = nxt[0] if nxt is not None else math.inf
+            yield Interval(t0, end), rate
+
+    @property
+    def support(self) -> IntervalSet:
+        """Where the rate is positive."""
+        return IntervalSet(window for window, _ in self.segments())
+
+    @property
+    def horizon(self) -> Time:
+        """Last breakpoint time (0 for the zero profile).  Past the
+        horizon the rate is constant (usually zero)."""
+        return self._points[-1][0] if self._points else 0
+
+    @property
+    def peak_rate(self) -> Time:
+        """Maximum rate anywhere."""
+        return max((rate for _, rate in self._points), default=0)
+
+    def integral(self, window: Interval) -> Time:
+        """Total quantity available during ``window``:
+        the paper's ``r x tau`` generalised to step functions."""
+        if window.is_empty or self.is_zero:
+            return 0
+        total: Time = 0
+        for segment, rate in self.segments():
+            common = segment.intersection(window)
+            if not common.is_empty:
+                total += rate * common.duration
+        return total
+
+    def min_rate(self, window: Interval) -> Time:
+        """Minimum rate over a non-empty window (0 if any gap)."""
+        if window.is_empty:
+            raise UndefinedOperationError("min_rate over an empty window")
+        lowest: Optional[Time] = None
+        covered: Time = 0
+        for segment, rate in self.segments():
+            common = segment.intersection(window)
+            if common.is_empty:
+                continue
+            covered += common.duration
+            lowest = rate if lowest is None else min(lowest, rate)
+        if lowest is None or covered < window.duration:
+            return 0
+        return lowest
+
+    def earliest_accumulation(self, start: Time, quantity: Time) -> Optional[Time]:
+        """The earliest ``t >= start`` with ``integral((start, t)) >= quantity``.
+
+        Returns ``None`` when the quantity can never be accumulated.  This
+        is the primitive behind the greedy breakpoint search of Theorem 2.
+        """
+        if quantity <= 0:
+            return start
+        remaining = quantity
+        for segment, rate in self.segments():
+            if segment.end <= start:
+                continue
+            effective_start = max(start, segment.start)
+            capacity = rate * (segment.end - effective_start)
+            if capacity >= remaining:
+                return effective_start + exact_div(remaining, rate)
+            remaining -= capacity
+        return None
+
+    def latest_accumulation(self, end: Time, quantity: Time) -> Optional[Time]:
+        """The latest ``t <= end`` with ``integral((t, end)) >= quantity``.
+
+        The time-reversed dual of :meth:`earliest_accumulation`; the
+        primitive behind as-late-as-possible (ALAP) scheduling.  Returns
+        ``None`` when the quantity cannot be accumulated before ``end``.
+        """
+        if quantity <= 0:
+            return end
+        remaining = quantity
+        for segment, rate in reversed(list(self.segments())):
+            if segment.start >= end:
+                continue
+            effective_end = min(end, segment.end)
+            capacity = rate * (effective_end - segment.start)
+            if capacity >= remaining:
+                return effective_end - exact_div(remaining, rate)
+            remaining -= capacity
+        return None
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def _merged_breaktimes(self, other: "RateProfile") -> list[Time]:
+        times = sorted({t for t, _ in self._points} | {t for t, _ in other._points})
+        return times
+
+    def __add__(self, other: "RateProfile") -> "RateProfile":
+        if self.is_zero:
+            return other
+        if other.is_zero:
+            return self
+        points = [
+            (t, self.rate_at(t) + other.rate_at(t))
+            for t in self._merged_breaktimes(other)
+        ]
+        return RateProfile(points)
+
+    def subtract(self, other: "RateProfile", *, tolerance: float = EPSILON) -> "RateProfile":
+        """Pointwise subtraction; raises when the result would go negative.
+
+        Mirrors the paper's rule that resource terms cannot be negative:
+        the relative complement is a *partial* operation.
+        """
+        if other.is_zero:
+            return self
+        points: list[Tuple[Time, Time]] = []
+        for t in self._merged_breaktimes(other):
+            value = self.rate_at(t) - other.rate_at(t)
+            if value < 0:
+                if -value <= tolerance:
+                    value = 0
+                else:
+                    raise UndefinedOperationError(
+                        f"subtraction would make the rate negative at t={t!r} "
+                        f"({self.rate_at(t)!r} - {other.rate_at(t)!r})"
+                    )
+            points.append((t, value))
+        return RateProfile(points)
+
+    def __sub__(self, other: "RateProfile") -> "RateProfile":
+        return self.subtract(other)
+
+    def saturating_sub(self, other: "RateProfile") -> "RateProfile":
+        """Pointwise ``max(0, self - other)``.
+
+        Unlike :meth:`subtract` this is total: where ``other`` exceeds
+        ``self`` the result is clamped at zero.  Used for *revocation* —
+        capacity vanishing regardless of what was promised against it —
+        not for the paper's (partial) relative complement.
+        """
+        if other.is_zero:
+            return self
+        points = [
+            (t, max(0, self.rate_at(t) - other.rate_at(t)))
+            for t in self._merged_breaktimes(other)
+        ]
+        return RateProfile(points)
+
+    def scale(self, factor: Time) -> "RateProfile":
+        """The profile with every rate multiplied by ``factor >= 0``."""
+        if factor < 0:
+            raise InvalidTermError("scale factor must be >= 0")
+        if factor == 0:
+            return _ZERO
+        return RateProfile((t, rate * factor) for t, rate in self._points)
+
+    def clamp(self, window: Interval) -> "RateProfile":
+        """The profile restricted to ``window`` (zero outside): the paper's
+        ``U_s^d`` applied to one located type."""
+        if window.is_empty or self.is_zero:
+            return _ZERO
+        points: list[Tuple[Time, Time]] = [(window.start, self.rate_at(window.start))]
+        for t, rate in self._points:
+            if window.start < t < window.end:
+                points.append((t, rate))
+        if not math.isinf(window.end):
+            points.append((window.end, 0))
+        return RateProfile(points)
+
+    def shift(self, delta: Time) -> "RateProfile":
+        """The profile translated in time by ``delta``."""
+        return RateProfile((t + delta, rate) for t, rate in self._points)
+
+    def cap(self, ceiling: "RateProfile") -> "RateProfile":
+        """Pointwise minimum with another profile."""
+        if self.is_zero or ceiling.is_zero:
+            return _ZERO
+        points = [
+            (t, min(self.rate_at(t), ceiling.rate_at(t)))
+            for t in self._merged_breaktimes(ceiling)
+        ]
+        return RateProfile(points)
+
+    def dominates(self, other: "RateProfile") -> bool:
+        """Pointwise ``self >= other`` everywhere."""
+        if other.is_zero:
+            return True
+        for t in self._merged_breaktimes(other):
+            if self.rate_at(t) < other.rate_at(t):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RateProfile):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __bool__(self) -> bool:
+        return not self.is_zero
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({t}, {r})" for t, r in self._points)
+        return f"RateProfile([{inner}])"
+
+
+_ZERO = RateProfile(())
+
+
+def profile_from_points(points: Sequence[Tuple[Time, Time]]) -> RateProfile:
+    """Public helper: build a profile from raw breakpoints."""
+    return RateProfile(points)

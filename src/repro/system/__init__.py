@@ -1,0 +1,48 @@
+"""Open-system simulation substrate.
+
+Event-driven execution of the ROTA transition rules with pluggable
+admission and allocation policies; topologies; traces.
+"""
+
+from repro.system.events import (
+    ComputationArrivalEvent,
+    ComputationLeaveEvent,
+    Event,
+    ResourceJoinEvent,
+    ResourceRevocationEvent,
+    arrival,
+    resource_join,
+)
+from repro.system.node import Topology
+from repro.system.scheduler import (
+    AllocationPolicy,
+    EdfPolicy,
+    FcfsPolicy,
+    ReservationPolicy,
+)
+from repro.system.simulator import (
+    ComputationRecord,
+    OpenSystemSimulator,
+    SimulationReport,
+)
+from repro.system.tracing import SimulationTrace, TraceNote
+
+__all__ = [
+    "ComputationArrivalEvent",
+    "ComputationLeaveEvent",
+    "Event",
+    "ResourceJoinEvent",
+    "ResourceRevocationEvent",
+    "arrival",
+    "resource_join",
+    "Topology",
+    "AllocationPolicy",
+    "EdfPolicy",
+    "FcfsPolicy",
+    "ReservationPolicy",
+    "ComputationRecord",
+    "OpenSystemSimulator",
+    "SimulationReport",
+    "SimulationTrace",
+    "TraceNote",
+]

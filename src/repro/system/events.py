@@ -1,0 +1,93 @@
+"""Events of the open-system simulation.
+
+The paper's open-system dynamics are three instantaneous transition
+rules: resources join (with a pre-declared leave time inside their term
+intervals), computations arrive seeking accommodation, and
+not-yet-started computations may leave.  Each becomes an event type here.
+Events are ordered by time, with ties broken by a monotone sequence
+number so the simulation is deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.computation.requirements import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+)
+from repro.intervals.interval import Time
+from repro.resources.resource_set import ResourceSet
+
+_sequence = itertools.count()
+
+
+@dataclass(frozen=True, order=True)
+class _Ordered:
+    time: Time
+    seq: int = field(default_factory=lambda: next(_sequence), compare=True)
+
+
+@dataclass(frozen=True, order=True)
+class ResourceJoinEvent(_Ordered):
+    """``Theta_join`` enters the system at ``time``.
+
+    Leave times are implicit: every term's interval states when the
+    resource disappears again (the paper has no separate leave rule).
+    """
+
+    resources: ResourceSet = field(default=None, compare=False)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, order=True)
+class ComputationArrivalEvent(_Ordered):
+    """A computation ``(Lambda, s, d)`` asks to be accommodated."""
+
+    requirement: ConcurrentRequirement = field(default=None, compare=False)  # type: ignore[assignment]
+    label: str = field(default="", compare=False)
+
+
+@dataclass(frozen=True, order=True)
+class ComputationLeaveEvent(_Ordered):
+    """An accommodated computation withdraws (valid only while ``t < s``)."""
+
+    label: str = field(default="", compare=False)
+
+
+@dataclass(frozen=True, order=True)
+class ResourceRevocationEvent(_Ordered):
+    """Capacity vanishes at ``time`` *despite* its declared interval.
+
+    This violates the paper's model (leave times are pre-declared at join
+    time); the robustness experiments inject it deliberately to measure
+    how much deadline assurance depends on the pre-declaration assumption.
+    """
+
+    resources: ResourceSet = field(default=None, compare=False)  # type: ignore[assignment]
+
+
+Event = Union[
+    ResourceJoinEvent,
+    ComputationArrivalEvent,
+    ComputationLeaveEvent,
+    ResourceRevocationEvent,
+]
+
+
+def arrival(
+    time: Time,
+    requirement: ConcurrentRequirement | ComplexRequirement,
+    label: str = "",
+) -> ComputationArrivalEvent:
+    """Convenience constructor accepting either requirement level."""
+    if isinstance(requirement, ComplexRequirement):
+        requirement = ConcurrentRequirement((requirement,), requirement.window)
+    if not label:
+        label = requirement.components[0].label or f"arrival@{time}"
+    return ComputationArrivalEvent(time=time, requirement=requirement, label=label)
+
+
+def resource_join(time: Time, resources: ResourceSet) -> ResourceJoinEvent:
+    return ResourceJoinEvent(time=time, resources=resources)

@@ -1,0 +1,330 @@
+"""Discrete-event simulator for open distributed systems.
+
+The simulator executes the ROTA transition rules against a timeline of
+open-system events (resources joining, computations arriving/leaving),
+with two pluggable policies:
+
+* an **admission policy** (see :mod:`repro.baselines`) decides whether an
+  arriving computation is accommodated, and
+* an **allocation policy** (see :mod:`repro.system.scheduler`) chooses a
+  concrete branch of the evolution tree each ``dt`` slice.
+
+The simulator is the *ground truth* for the reproduction's synthetic
+evaluation: an admission policy's promise ("this computation's deadline is
+assured") is checked against what actually happens when the admitted set
+executes.  Deadline misses of admitted computations are the soundness
+failures the paper's reasoning is designed to rule out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.baselines.base import AdmissionPolicy
+from repro.computation.requirements import ConcurrentRequirement
+from repro.errors import SimulationError, TransitionError
+from repro.intervals.interval import Interval, Time
+from repro.logic.state import SystemState, initial_state
+from repro.logic.transitions import Transition, accommodate, acquire, leave, step
+from repro.resources.located_type import LocatedType
+from repro.resources.resource_set import ResourceSet
+from repro.system.events import (
+    ComputationArrivalEvent,
+    ComputationLeaveEvent,
+    Event,
+    ResourceJoinEvent,
+    ResourceRevocationEvent,
+)
+from repro.system.scheduler import AllocationPolicy, EdfPolicy, ReservationPolicy
+from repro.system.tracing import SimulationTrace
+
+
+@dataclass
+class ComputationRecord:
+    """Lifecycle of one arrival, as observed by the simulator."""
+
+    label: str
+    arrival_time: Time
+    window: Interval
+    #: the arrival's order-blind total demand, for audit accounting
+    total_demands: Optional[object] = None
+    admitted: bool = False
+    rejection_reason: str = ""
+    completed: bool = False
+    finish_time: Optional[Time] = None
+    missed: bool = False
+
+    @property
+    def outcome(self) -> str:
+        if not self.admitted:
+            return "rejected"
+        if self.completed:
+            return "completed"
+        if self.missed:
+            return "missed"
+        return "running"
+
+
+@dataclass
+class SimulationReport:
+    """Everything a benchmark needs to score one simulation run."""
+
+    policy_name: str
+    records: List[ComputationRecord]
+    offered: Dict[LocatedType, Time]
+    consumed: Dict[LocatedType, Time]
+    trace: SimulationTrace
+    horizon: Time
+
+    # ------------------------------------------------------------------
+    @property
+    def arrivals(self) -> int:
+        return len(self.records)
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for r in self.records if r.admitted)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    @property
+    def missed(self) -> int:
+        return sum(1 for r in self.records if r.missed)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.records if not r.admitted)
+
+    @property
+    def admission_precision(self) -> float:
+        """Fraction of admitted computations whose deadline held."""
+        admitted = self.admitted
+        return self.completed / admitted if admitted else 1.0
+
+    @property
+    def utilization(self) -> float:
+        """Consumed fraction of all offered resource quantity."""
+        offered = sum(self.offered.values())
+        if offered == 0:
+            return 0.0
+        return float(sum(self.consumed.values())) / float(offered)
+
+    def record_of(self, label: str) -> ComputationRecord:
+        for record in self.records:
+            if record.label == label:
+                return record
+        raise KeyError(f"no record for {label!r}")
+
+
+class OpenSystemSimulator:
+    """Event-driven executor of the ROTA open-system rules."""
+
+    def __init__(
+        self,
+        admission_policy: AdmissionPolicy,
+        *,
+        initial_resources: ResourceSet | None = None,
+        allocation_policy: AllocationPolicy | None = None,
+        dt: Time = 1,
+        start_time: Time = 0,
+    ) -> None:
+        if dt <= 0:
+            raise SimulationError(f"dt must be positive, got {dt!r}")
+        self._admission = admission_policy
+        self._allocation = allocation_policy or EdfPolicy()
+        self._dt = dt
+        self._events: List[tuple] = []
+        self._state = initial_state(
+            initial_resources or ResourceSet.empty(), start_time
+        )
+        self._start_time = start_time
+        if initial_resources is not None and not initial_resources.is_empty:
+            self._admission.observe_resources(initial_resources, start_time)
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, *events: Event) -> None:
+        # The heap holds (time, seq, event) tuples: event classes differ,
+        # and dataclass-generated ordering never compares across classes.
+        for event in events:
+            heapq.heappush(self._events, (event.time, event.seq, event))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, horizon: Time) -> SimulationReport:
+        """Execute until ``horizon``; returns the scored report."""
+        state = self._state
+        records: Dict[str, ComputationRecord] = {}
+        offered: Dict[LocatedType, Time] = {}
+        consumed: Dict[LocatedType, Time] = {}
+        trace = SimulationTrace()
+        run_window = Interval(self._start_time, horizon)
+
+        def tally_offered(resources: ResourceSet) -> None:
+            for ltype in resources.located_types:
+                amount = resources.quantity(ltype, run_window)
+                if amount > 0:
+                    offered[ltype] = offered.get(ltype, 0) + amount
+
+        tally_offered(state.theta)
+
+        while state.t < horizon:
+            # 1. Instantaneous rules at the current instant.
+            while self._events and self._events[0][0] <= state.t:
+                _, _, event = heapq.heappop(self._events)
+                state = self._apply_event(event, state, records, tally_offered, trace)
+
+            # 2. One timed slice via the general transition rule.
+            allocations = self._allocation.allocate(state, self._dt)
+            transition = step(state, self._dt, allocations)
+            trace.record(transition)
+            for _, ltype, quantity in transition.label.consumed:
+                consumed[ltype] = consumed.get(ltype, 0) + quantity
+            state = transition.target
+
+            # 3. Outcome bookkeeping.  A multi-actor arrival completes when
+            # every component completes; it misses when any component is
+            # still unfinished at the arrival's deadline.
+            for record in records.values():
+                if not record.admitted or record.completed or record.missed:
+                    continue
+                components = [
+                    p
+                    for p in state.rho
+                    if p.label == record.label
+                    or p.label.startswith(record.label + "[")
+                ]
+                if not components:
+                    continue
+                if all(p.is_complete for p in components):
+                    record.completed = True
+                    record.finish_time = state.t
+                elif state.t >= record.window.end:
+                    record.missed = True
+
+        self._state = state
+        return SimulationReport(
+            policy_name=self._admission.name,
+            records=list(records.values()),
+            offered=offered,
+            consumed=consumed,
+            trace=trace,
+            horizon=horizon,
+        )
+
+    # ------------------------------------------------------------------
+    def _apply_event(
+        self,
+        event: Event,
+        state: SystemState,
+        records: Dict[str, "ComputationRecord"],
+        tally_offered,
+        trace: SimulationTrace,
+    ) -> SystemState:
+        if isinstance(event, ResourceJoinEvent):
+            joining = event.resources.truncate_before(state.t)
+            tally_offered(joining)
+            self._admission.observe_resources(joining, state.t)
+            trace.note(state.t, f"resources join: {len(joining.located_types)} types")
+            state = acquire(state, joining)
+            # New capacity is a new frontier: re-offer rejected arrivals
+            # still inside their windows.
+            for label, requirement in self._admission.retry_candidates(state.t):
+                record = records.get(label)
+                if record is None or record.admitted:
+                    continue
+                decision = self._admission.decide(requirement, state.t)
+                if not decision.admitted:
+                    continue
+                record.admitted = True
+                record.rejection_reason = ""
+                trace.note(state.t, f"retry admitted {label!r}")
+                if decision.schedule is not None and isinstance(
+                    self._allocation, ReservationPolicy
+                ):
+                    self._allocation.reserve(label, decision.schedule)
+                state = accommodate(state, _relabel(requirement, label))
+            return state
+
+        if isinstance(event, ComputationArrivalEvent):
+            label = event.label
+            if label in records:
+                raise SimulationError(f"duplicate computation label {label!r}")
+            record = ComputationRecord(
+                label=label,
+                arrival_time=state.t,
+                window=event.requirement.window,
+                total_demands=event.requirement.total_demands,
+            )
+            records[label] = record
+            decision = self._admission.decide(event.requirement, state.t)
+            record.admitted = decision.admitted
+            record.rejection_reason = decision.reason
+            trace.note(
+                state.t,
+                f"arrival {label!r}: "
+                f"{'admitted' if decision.admitted else 'rejected'}"
+                + (f" ({decision.reason})" if decision.reason else ""),
+            )
+            if decision.admitted:
+                if decision.schedule is not None and isinstance(
+                    self._allocation, ReservationPolicy
+                ):
+                    self._allocation.reserve(label, decision.schedule)
+                relabelled = _relabel(event.requirement, label)
+                return accommodate(state, relabelled)
+            return state
+
+        if isinstance(event, ResourceRevocationEvent):
+            # A promise violation: future capacity disappears.  The state's
+            # theta shrinks (clamped at zero); admission policies are NOT
+            # told — their committed schedules silently lost their backing,
+            # which is exactly the failure mode being measured.
+            revoked = event.resources.truncate_before(state.t)
+            trace.note(
+                state.t,
+                f"revocation: {len(revoked.located_types)} types lose capacity",
+            )
+            return SystemState(
+                state.theta.saturating_minus(revoked), state.rho, state.t
+            )
+
+        if isinstance(event, ComputationLeaveEvent):
+            try:
+                state = leave(state, event.label)
+            except (KeyError, TransitionError):
+                trace.note(state.t, f"leave {event.label!r} refused")
+                return state
+            self._admission.on_leave(event.label, state.t)
+            if isinstance(self._allocation, ReservationPolicy):
+                self._allocation.release(event.label)
+            record = records.get(event.label)
+            if record is not None:
+                record.admitted = False
+                record.rejection_reason = "withdrew before start"
+            trace.note(state.t, f"leave {event.label!r}")
+            return state
+
+        raise SimulationError(f"unknown event {event!r}")
+
+
+def _relabel(
+    requirement: ConcurrentRequirement, label: str
+) -> ConcurrentRequirement:
+    """Prefix component labels with the arrival label so state progress
+    records are unambiguous across arrivals."""
+    from repro.computation.requirements import ComplexRequirement
+
+    components = []
+    for index, part in enumerate(requirement.components):
+        new_label = label if len(requirement.components) == 1 else f"{label}[{index}]"
+        components.append(
+            ComplexRequirement(part.phases, part.window, label=new_label)
+        )
+    return ConcurrentRequirement(tuple(components), requirement.window)

@@ -1,0 +1,79 @@
+"""Simulation traces: an audit log of states, transitions, and notes.
+
+Traces let tests and benchmarks assert not only final outcomes but also
+*how* the system evolved: per-slice consumption and expiry, the moments
+arrivals were admitted or rejected, and aggregate accounting that must
+balance (conservation check: offered = consumed + expired within the
+traced horizon for every located type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.intervals.interval import Time
+from repro.logic.transitions import Transition
+from repro.resources.located_type import LocatedType
+
+
+@dataclass(frozen=True)
+class TraceNote:
+    """A timestamped free-form annotation (event outcomes etc.)."""
+
+    time: Time
+    message: str
+
+
+@dataclass
+class SimulationTrace:
+    """Ordered record of every timed transition plus annotations."""
+
+    transitions: List[Transition] = field(default_factory=list)
+    notes: List[TraceNote] = field(default_factory=list)
+
+    def record(self, transition: Transition) -> None:
+        self.transitions.append(transition)
+
+    def note(self, time: Time, message: str) -> None:
+        self.notes.append(TraceNote(time, message))
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        return len(self.transitions)
+
+    def consumed_totals(self) -> Dict[LocatedType, Time]:
+        """Total consumption per located type across the trace."""
+        totals: Dict[LocatedType, Time] = {}
+        for transition in self.transitions:
+            for _, ltype, quantity in transition.label.consumed:
+                totals[ltype] = totals.get(ltype, 0) + quantity
+        return totals
+
+    def expired_totals(self) -> Dict[LocatedType, Time]:
+        """Total expired (unused) quantity per located type."""
+        totals: Dict[LocatedType, Time] = {}
+        for transition in self.transitions:
+            for ltype, quantity in transition.label.expired:
+                totals[ltype] = totals.get(ltype, 0) + quantity
+        return totals
+
+    def consumption_by_actor(self) -> Dict[str, Dict[LocatedType, Time]]:
+        """Who consumed what, over the whole trace."""
+        totals: Dict[str, Dict[LocatedType, Time]] = {}
+        for transition in self.transitions:
+            for actor, ltype, quantity in transition.label.consumed:
+                bucket = totals.setdefault(actor, {})
+                bucket[ltype] = bucket.get(ltype, 0) + quantity
+        return totals
+
+    def timeline(self) -> Iterator[Tuple[Time, str]]:
+        """Merged, time-ordered view of notes and transition summaries."""
+        entries: List[Tuple[Time, str]] = [
+            (note.time, note.message) for note in self.notes
+        ]
+        entries.extend(
+            (tr.source.t, str(tr.label)) for tr in self.transitions
+        )
+        return iter(sorted(entries, key=lambda item: item[0]))

@@ -1,0 +1,45 @@
+"""Seeded synthetic workloads, churn processes, and named scenarios."""
+
+from repro.workloads.churn import broken_promises, churn_events, stable_base
+from repro.workloads.generator import (
+    OracleInstance,
+    Workload,
+    oracle_instance,
+    poisson_arrivals,
+    random_requirement,
+    uniform_workload,
+)
+from repro.workloads.persistence import (
+    event_from_wire,
+    event_to_wire,
+    iter_events,
+    load_events,
+    save_events,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    cloud_scenario,
+    pipeline_scenario,
+    volunteer_scenario,
+)
+
+__all__ = [
+    "broken_promises",
+    "churn_events",
+    "stable_base",
+    "OracleInstance",
+    "Workload",
+    "oracle_instance",
+    "poisson_arrivals",
+    "random_requirement",
+    "uniform_workload",
+    "event_from_wire",
+    "event_to_wire",
+    "iter_events",
+    "load_events",
+    "save_events",
+    "Scenario",
+    "cloud_scenario",
+    "pipeline_scenario",
+    "volunteer_scenario",
+]

@@ -1,0 +1,141 @@
+"""Persisting event streams: record once, replay anywhere.
+
+The substitution policy (DESIGN.md) replaces the production traces the
+paper's setting implies with seeded synthetic generators.  This module
+closes the loop: any event stream — generated, hand-written, or captured
+from a real system — serialises to JSON Lines and replays bit-identically,
+so experiments can be shared as artifacts rather than as (seed, code
+version) pairs.
+
+One JSON object per line, tagged by event kind; times and quantities use
+the exact wire scalars of :mod:`repro.serialization`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.serialization import (
+    SerializationError,
+    requirement_from_wire,
+    requirement_to_wire,
+    resource_set_from_wire,
+    resource_set_to_wire,
+    time_from_wire,
+    time_to_wire,
+)
+from repro.system.events import (
+    ComputationArrivalEvent,
+    ComputationLeaveEvent,
+    Event,
+    ResourceJoinEvent,
+    ResourceRevocationEvent,
+)
+
+PathLike = Union[str, Path]
+
+
+def event_to_wire(event: Event) -> dict:
+    """One event as a JSON-safe dict."""
+    if isinstance(event, ResourceJoinEvent):
+        return {
+            "event": "resource_join",
+            "time": time_to_wire(event.time),
+            "resources": resource_set_to_wire(event.resources),
+        }
+    if isinstance(event, ResourceRevocationEvent):
+        return {
+            "event": "resource_revocation",
+            "time": time_to_wire(event.time),
+            "resources": resource_set_to_wire(event.resources),
+        }
+    if isinstance(event, ComputationArrivalEvent):
+        return {
+            "event": "computation_arrival",
+            "time": time_to_wire(event.time),
+            "label": event.label,
+            "requirement": requirement_to_wire(event.requirement),
+        }
+    if isinstance(event, ComputationLeaveEvent):
+        return {
+            "event": "computation_leave",
+            "time": time_to_wire(event.time),
+            "label": event.label,
+        }
+    raise SerializationError(f"unsupported event {event!r}")
+
+
+def event_from_wire(data: dict) -> Event:
+    kind = data.get("event")
+    time = time_from_wire(data["time"])
+    if kind == "resource_join":
+        return ResourceJoinEvent(
+            time=time, resources=resource_set_from_wire(data["resources"])
+        )
+    if kind == "resource_revocation":
+        return ResourceRevocationEvent(
+            time=time, resources=resource_set_from_wire(data["resources"])
+        )
+    if kind == "computation_arrival":
+        return ComputationArrivalEvent(
+            time=time,
+            requirement=requirement_from_wire(data["requirement"]),
+            label=data.get("label", ""),
+        )
+    if kind == "computation_leave":
+        return ComputationLeaveEvent(time=time, label=data.get("label", ""))
+    raise SerializationError(f"unknown event kind {kind!r}")
+
+
+def save_events(events: Iterable[Event], destination: PathLike | IO[str]) -> int:
+    """Write events as JSON Lines; returns the count written."""
+    count = 0
+
+    def write(handle: IO[str]) -> int:
+        written = 0
+        for event in events:
+            handle.write(json.dumps(event_to_wire(event)))
+            handle.write("\n")
+            written += 1
+        return written
+
+    if hasattr(destination, "write"):
+        return write(destination)  # type: ignore[arg-type]
+    with open(destination, "w") as handle:  # type: ignore[arg-type]
+        count = write(handle)
+    return count
+
+
+def load_events(source: PathLike | IO[str]) -> List[Event]:
+    """Read a JSON Lines event stream, preserving order."""
+
+    def read(handle: IO[str]) -> List[Event]:
+        out: List[Event] = []
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SerializationError(
+                    f"line {line_number}: invalid JSON"
+                ) from exc
+            out.append(event_from_wire(data))
+        return out
+
+    if hasattr(source, "read"):
+        return read(source)  # type: ignore[arg-type]
+    with open(source) as handle:  # type: ignore[arg-type]
+        return read(handle)
+
+
+def iter_events(source: PathLike) -> Iterator[Event]:
+    """Streaming variant of :func:`load_events` for very long traces."""
+    with open(source) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield event_from_wire(json.loads(line))

@@ -1,0 +1,60 @@
+"""Shared fixtures for the ROTA reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.intervals import Interval
+from repro.resources import ResourceSet, cpu, memory, network, term
+from repro.resources.located_type import Node
+
+
+@pytest.fixture
+def l1():
+    return Node("l1")
+
+
+@pytest.fixture
+def l2():
+    return Node("l2")
+
+
+@pytest.fixture
+def cpu1():
+    """``<cpu, l1>``."""
+    return cpu("l1")
+
+
+@pytest.fixture
+def cpu2():
+    """``<cpu, l2>``."""
+    return cpu("l2")
+
+
+@pytest.fixture
+def net12():
+    """``<network, l1 -> l2>``."""
+    return network("l1", "l2")
+
+
+@pytest.fixture
+def mem1():
+    """``<memory, l1>``."""
+    return memory("l1")
+
+
+@pytest.fixture
+def small_pool(cpu1, net12):
+    """5 cpu@l1 over (0,10) and 2 net l1->l2 over (2,8)."""
+    return ResourceSet.of(term(5, cpu1, 0, 10), term(2, net12, 2, 8))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20100621)  # ICDCS 2010 started June 21
+
+
+def make_interval(a, b) -> Interval:
+    return Interval(a, b)

@@ -1,0 +1,86 @@
+"""Unit tests for the simulation auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import assert_clean, audit_report, score
+from repro.baselines import ALL_POLICIES, OptimisticAdmission, RotaAdmission
+from repro.computation import ComplexRequirement, Demands
+from repro.intervals import Interval
+from repro.resources import ResourceSet, term
+from repro.system import (
+    OpenSystemSimulator,
+    ReservationPolicy,
+    ResourceRevocationEvent,
+    arrival,
+)
+from repro.workloads import cloud_scenario, pipeline_scenario
+
+
+def creq(phases, s, d, label):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("policy_cls", ALL_POLICIES)
+    def test_every_policy_audits_clean_on_cloud(self, policy_cls):
+        scenario = cloud_scenario(3)
+        policy = policy_cls()
+        alloc = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+        simulator = OpenSystemSimulator(
+            policy,
+            initial_resources=scenario.initial_resources,
+            allocation_policy=alloc,
+        )
+        simulator.schedule(*scenario.events)
+        report = simulator.run(scenario.horizon)
+        assert audit_report(report) == []
+        assert_clean(report)
+
+    def test_pipeline_audits_clean(self):
+        scenario = pipeline_scenario(3)
+        simulator = OpenSystemSimulator(
+            OptimisticAdmission(), initial_resources=scenario.initial_resources
+        )
+        simulator.schedule(*scenario.events)
+        assert audit_report(simulator.run(scenario.horizon)) == []
+
+
+class TestViolationsDetected:
+    def test_revocation_needs_the_flag(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 10))
+        simulator = OpenSystemSimulator(
+            OptimisticAdmission(), initial_resources=pool
+        )
+        simulator.schedule(
+            ResourceRevocationEvent(
+                time=3, resources=ResourceSet.of(term(2, cpu1, 3, 10))
+            )
+        )
+        report = simulator.run(10)
+        assert any("conservation" in v for v in audit_report(report))
+        assert audit_report(report, allow_revocation=True) == []
+
+    def test_tampered_record_detected(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 10))
+        simulator = OpenSystemSimulator(
+            OptimisticAdmission(), initial_resources=pool
+        )
+        simulator.schedule(arrival(0, creq([Demands({cpu1: 8})], 0, 10, "a")))
+        report = simulator.run(10)
+        record = report.record_of("a")
+        record.missed = True  # tamper: completed AND missed
+        assert any("both completed and missed" in v for v in audit_report(report))
+        with pytest.raises(AssertionError):
+            assert_clean(report)
+
+    def test_demand_mismatch_detected(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 10))
+        simulator = OpenSystemSimulator(
+            OptimisticAdmission(), initial_resources=pool
+        )
+        simulator.schedule(arrival(0, creq([Demands({cpu1: 8})], 0, 10, "a")))
+        report = simulator.run(10)
+        report.record_of("a").total_demands = Demands({cpu1: 9})  # tamper
+        assert any("consumption" in v for v in audit_report(report))

@@ -1,0 +1,122 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.computation import ComplexRequirement, Demands
+from repro.intervals import Interval
+from repro.resources import ResourceSet, cpu, term
+from repro.serialization import requirement_to_wire, resource_set_to_wire
+
+
+def write_request(tmp_path, *, quantity, deadline=8):
+    payload = {
+        "resources": resource_set_to_wire(
+            ResourceSet.of(term(5, cpu("l1"), 0, 10))
+        ),
+        "requirement": requirement_to_wire(
+            ComplexRequirement(
+                [Demands({cpu("l1"): quantity})], Interval(0, deadline), label="job"
+            )
+        ),
+    }
+    path = tmp_path / "request.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestTable1:
+    def test_prints_thirteen_relations(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert out.count("inverse") == 6
+        assert out.count("base") == 7
+
+
+class TestScenario:
+    def test_single_policy(self, capsys):
+        assert main(["scenario", "pipeline", "--seed", "3", "--policy", "rota"]) == 0
+        out = capsys.readouterr().out
+        assert "rota" in out
+        assert "precision" in out
+
+    def test_all_policies(self, capsys):
+        assert main(["scenario", "cloud", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rota", "aggregate", "startpoint", "countbound", "optimistic"):
+            assert name in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "atlantis"])
+
+
+class TestCheck:
+    def test_admitted(self, tmp_path, capsys):
+        path = write_request(tmp_path, quantity=30)
+        assert main(["check", path]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["admitted"] is True
+        assert result["schedules"][0]["finish"] == 6
+
+    def test_rejected_exit_code(self, tmp_path, capsys):
+        path = write_request(tmp_path, quantity=100)
+        assert main(["check", path]) == 1
+        result = json.loads(capsys.readouterr().out)
+        assert result["admitted"] is False
+        assert "reason" in result
+
+    def test_align_flag(self, tmp_path, capsys):
+        path = write_request(tmp_path, quantity=30)
+        assert main(["check", path, "--align", "1"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["admitted"] is True
+
+
+class TestReplay:
+    def test_replay_recorded_trace(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.serialization import resource_set_to_wire
+        from repro.workloads import cloud_scenario, save_events
+
+        scenario = cloud_scenario(5)
+        trace = tmp_path / "trace.jsonl"
+        save_events(scenario.events, trace)
+        resources = tmp_path / "resources.json"
+        resources.write_text(
+            _json.dumps(resource_set_to_wire(scenario.initial_resources))
+        )
+        assert (
+            main(
+                [
+                    "replay",
+                    str(trace),
+                    "--resources",
+                    str(resources),
+                    "--horizon",
+                    str(scenario.horizon),
+                    "--policy",
+                    "rota",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replay" in out and "rota" in out
+
+    def test_replay_without_initial_resources(self, tmp_path, capsys):
+        from repro.system import resource_join
+        from repro.workloads import save_events
+        from repro.resources import ResourceSet, cpu, term
+
+        trace = tmp_path / "trace.jsonl"
+        save_events(
+            [resource_join(0, ResourceSet.of(term(2, cpu("l1"), 0, 10)))], trace
+        )
+        assert main(["replay", str(trace), "--horizon", "10"]) == 0

@@ -1,0 +1,58 @@
+"""Unit tests for actor action types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ACTION_KINDS, Create, Evaluate, Migrate, Ready, Send
+from repro.errors import InvalidComputationError
+from repro.resources import Node
+
+
+class TestActionConstruction:
+    def test_evaluate(self):
+        action = Evaluate("x + y", work=2)
+        assert action.kind == "evaluate"
+        assert action.work == 2
+
+    def test_evaluate_rejects_nonpositive_work(self):
+        with pytest.raises(InvalidComputationError):
+            Evaluate(work=0)
+
+    def test_send(self):
+        action = Send("a2", "hello", size=3)
+        assert action.kind == "send"
+        assert action.target == "a2"
+
+    def test_send_requires_target(self):
+        with pytest.raises(InvalidComputationError):
+            Send("")
+
+    def test_send_rejects_nonpositive_size(self):
+        with pytest.raises(InvalidComputationError):
+            Send("a2", size=-1)
+
+    def test_create(self):
+        assert Create("worker").kind == "create"
+
+    def test_ready(self):
+        assert Ready().kind == "ready"
+
+    def test_migrate(self):
+        action = Migrate(Node("l2"), size=2)
+        assert action.kind == "migrate"
+        assert action.destination == Node("l2")
+
+    def test_migrate_requires_node(self):
+        with pytest.raises(InvalidComputationError):
+            Migrate("l2")  # plain string is not a Node
+
+    def test_five_primitives(self):
+        """Paper Section IV-A: an actor behaviour is a sequence of five
+        types of actions."""
+        assert set(ACTION_KINDS) == {"evaluate", "send", "create", "ready", "migrate"}
+
+    def test_actions_are_values(self):
+        assert Evaluate("e") == Evaluate("e")
+        assert Send("a", "m") == Send("a", "m")
+        assert hash(Ready()) == hash(Ready())

@@ -1,0 +1,164 @@
+"""Unit tests for Theorem 4 admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import AdmissionController
+from repro.errors import TransitionError
+from repro.intervals import Interval
+from repro.resources import ResourceSet, term
+
+
+def creq(phases, s, d, label):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def controller(cpu1):
+    return AdmissionController(ResourceSet.of(term(5, cpu1, 0, 10)))
+
+
+class TestBasicAdmission:
+    def test_admit_within_capacity(self, controller, cpu1):
+        decision = controller.admit(creq([Demands({cpu1: 30})], 0, 10, "a"))
+        assert decision.admitted
+        assert decision.schedule is not None
+
+    def test_reject_beyond_capacity(self, controller, cpu1):
+        decision = controller.admit(creq([Demands({cpu1: 51})], 0, 10, "a"))
+        assert not decision.admitted
+        assert "slack" in decision.reason
+
+    def test_reject_past_deadline(self, cpu1):
+        controller = AdmissionController(
+            ResourceSet.of(term(5, cpu1, 0, 10)), now=6
+        )
+        decision = controller.can_admit(creq([Demands({cpu1: 1})], 0, 5, "late"))
+        assert not decision.admitted
+        assert "deadline" in decision.reason
+
+    def test_can_admit_does_not_commit(self, controller, cpu1):
+        req = creq([Demands({cpu1: 30})], 0, 10, "a")
+        assert controller.can_admit(req).admitted
+        assert controller.can_admit(req).admitted  # still free
+        controller.admit(req)
+        assert not controller.can_admit(creq([Demands({cpu1: 21})], 0, 10, "b"))
+
+
+class TestTheoremFourSemantics:
+    def test_commitments_never_disturbed(self, controller, cpu1):
+        """Admitting more computations must not invalidate earlier ones:
+        committed consumption only grows within what was available."""
+        first = controller.admit(creq([Demands({cpu1: 30})], 0, 10, "a"))
+        second = controller.admit(creq([Demands({cpu1: 20})], 0, 10, "b"))
+        assert first.admitted and second.admitted
+        total = controller.committed
+        assert controller.available.dominates(total)
+        # slack is now empty of cpu within (0,10)
+        assert controller.expiring_slack.quantity(cpu1, Interval(0, 10)) == 0
+
+    def test_expiring_slack_is_opportunity(self, controller, cpu1):
+        """Theorem 4: what the committed path will not consume is exactly
+        what newcomers may claim."""
+        controller.admit(creq([Demands({cpu1: 30})], 0, 10, "a"))
+        slack = controller.expiring_slack
+        assert slack.quantity(cpu1, Interval(0, 10)) == 20
+
+    def test_windows_create_partial_contention(self, cpu1):
+        controller = AdmissionController(ResourceSet.of(term(5, cpu1, 0, 10)))
+        controller.admit(creq([Demands({cpu1: 25})], 0, 5, "early"))
+        # (0,5) fully claimed; (5,10) untouched
+        assert controller.admit(creq([Demands({cpu1: 25})], 5, 10, "late")).admitted
+        assert not controller.can_admit(creq([Demands({cpu1: 1})], 0, 5, "more"))
+
+    def test_resources_joining_reopen_admission(self, controller, cpu1):
+        controller.admit(creq([Demands({cpu1: 50})], 0, 10, "a"))
+        assert not controller.can_admit(creq([Demands({cpu1: 10})], 0, 10, "b"))
+        controller.add_resources(ResourceSet.of(term(2, cpu1, 0, 10)))
+        assert controller.can_admit(creq([Demands({cpu1: 10})], 0, 10, "b")).admitted
+
+    def test_arrival_after_start_clips_window(self, cpu1):
+        """A computation admitted at t > s can only use (t, d)."""
+        controller = AdmissionController(
+            ResourceSet.of(term(5, cpu1, 0, 10)), now=8
+        )
+        # only 10 units remain in (8,10)
+        assert controller.can_admit(creq([Demands({cpu1: 10})], 0, 10, "a")).admitted
+        assert not controller.can_admit(creq([Demands({cpu1: 11})], 0, 10, "b")).admitted
+
+
+class TestClockAndWithdraw:
+    def test_clock_cannot_go_backwards(self, controller):
+        controller.advance_to(5)
+        with pytest.raises(TransitionError):
+            controller.advance_to(3)
+
+    def test_withdraw_before_start(self, controller, cpu1):
+        assert controller.admit(creq([Demands({cpu1: 20})], 5, 10, "a")).admitted
+        controller.withdraw("a")
+        assert controller.expiring_slack.quantity(cpu1, Interval(0, 10)) == 50
+        assert "a" not in controller.admitted_labels
+
+    def test_withdraw_after_start_rejected(self, controller, cpu1):
+        """The paper's leave rule requires t < s."""
+        controller.admit(creq([Demands({cpu1: 30})], 0, 10, "a"))
+        controller.advance_to(1)
+        with pytest.raises(TransitionError):
+            controller.withdraw("a")
+
+    def test_withdraw_unknown_label(self, controller):
+        with pytest.raises(TransitionError):
+            controller.withdraw("ghost")
+
+    def test_duplicate_labels_disambiguated(self, controller, cpu1):
+        controller.admit(creq([Demands({cpu1: 10})], 0, 10, "same"))
+        controller.admit(creq([Demands({cpu1: 10})], 0, 10, "same"))
+        assert len(controller.admitted_labels) == 2
+
+
+class TestAlignedAdmission:
+    def test_aligned_controller_rounds_breakpoints(self, cpu1):
+        controller = AdmissionController(
+            ResourceSet.of(term(3, cpu1, 0, 10)), align=1
+        )
+        decision = controller.admit(
+            creq([Demands({cpu1: 10}), Demands({cpu1: 3})], 0, 10, "a")
+        )
+        assert decision.admitted
+        for schedule in decision.schedule.schedules:
+            for b in schedule.breakpoints:
+                assert float(b).is_integer()
+
+
+class TestSlackCacheInvariant:
+    def test_cache_tracks_recomputation(self, cpu1, net12):
+        """The incrementally maintained slack always equals
+        available - committed, across every mutation kind."""
+        from repro.resources import ResourceSet, term
+
+        controller = AdmissionController(
+            ResourceSet.of(term(5, cpu1, 0, 20), term(3, net12, 0, 20))
+        )
+
+        def check():
+            assert controller.expiring_slack == (
+                controller.available - controller.committed
+            )
+
+        check()
+        controller.admit(creq([Demands({cpu1: 30})], 0, 20, "a"))
+        check()
+        controller.add_resources(ResourceSet.of(term(2, cpu1, 5, 15)))
+        check()
+        controller.admit(creq([Demands({net12: 10})], 5, 18, "b"))
+        check()
+        controller.reserve(ResourceSet.of(term(1, cpu1, 10, 20)))
+        check()
+        controller.release(ResourceSet.of(term(1, cpu1, 10, 20)))
+        check()
+        controller.admit(creq([Demands({cpu1: 5})], 10, 20, "c"))
+        check()
+        controller.withdraw("c", now=0)
+        check()

@@ -1,0 +1,139 @@
+"""Unit tests for ALAP scheduling and latest-start analysis."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands
+from repro.decision.alap import (
+    criticality,
+    find_alap_schedule,
+    latest_phase_start,
+    latest_start,
+)
+from repro.decision.sequential import find_schedule
+from repro.intervals import Interval
+from repro.resources import RateProfile, ResourceSet, cpu, term
+from repro.workloads import oracle_instance
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def pool(cpu1, net12):
+    return ResourceSet.of(term(5, cpu1, 0, 10), term(2, net12, 2, 8))
+
+
+class TestLatestAccumulation:
+    def test_simple(self):
+        profile = RateProfile.constant(5, Interval(0, 10))
+        assert profile.latest_accumulation(10, 20) == 6
+
+    def test_exact_fraction(self):
+        profile = RateProfile.constant(3, Interval(0, 10))
+        assert profile.latest_accumulation(10, 10) == 10 - Fraction(10, 3)
+
+    def test_across_gap(self):
+        profile = RateProfile.from_segments(
+            [(Interval(0, 2), 2), (Interval(5, 10), 2)]
+        )
+        # 6 units before t=10: 3 time units back from 10 -> 7; plus gap
+        assert profile.latest_accumulation(10, 6) == 7
+        # 12 units: 10 in (5,10), 2 more -> 1 unit of time ending at 2
+        assert profile.latest_accumulation(10, 12) == 1
+
+    def test_impossible(self):
+        profile = RateProfile.constant(1, Interval(0, 5))
+        assert profile.latest_accumulation(5, 6) is None
+
+    def test_zero_quantity(self):
+        profile = RateProfile.constant(1, Interval(0, 5))
+        assert profile.latest_accumulation(3, 0) == 3
+
+    def test_duality_with_earliest(self):
+        """On a constant profile, latest(end, q) == reflect(earliest)."""
+        profile = RateProfile.constant(4, Interval(0, 12))
+        earliest = profile.earliest_accumulation(0, 20)
+        latest = profile.latest_accumulation(12, 20)
+        assert earliest - 0 == 12 - latest
+
+
+class TestAlapSchedule:
+    def test_hugs_the_deadline(self, pool, cpu1, net12):
+        requirement = creq(
+            [Demands({cpu1: 10}), Demands({net12: 6}), Demands({cpu1: 5})], 0, 10
+        )
+        schedule = find_alap_schedule(pool, requirement)
+        assert schedule is not None
+        assert schedule.finish_time == 10  # last phase ends at d
+        # ASAP finishes at 6, so ALAP must start later than ASAP
+        asap = find_schedule(pool, requirement)
+        assert schedule.assignments[0].window.start >= asap.assignments[0].window.start
+
+    def test_witness_satisfies_theorem2(self, pool, cpu1, net12):
+        requirement = creq(
+            [Demands({cpu1: 10}), Demands({net12: 6}), Demands({cpu1: 5})], 0, 10
+        )
+        schedule = find_alap_schedule(pool, requirement)
+        for simple in requirement.decompose(list(schedule.breakpoints)):
+            assert simple.satisfied_by(pool)
+
+    def test_claims_within_availability(self, pool, cpu1, net12):
+        requirement = creq([Demands({cpu1: 20}), Demands({net12: 6})], 0, 10)
+        schedule = find_alap_schedule(pool, requirement)
+        assert schedule is not None
+        assert pool.dominates(schedule.consumption())
+        assert schedule.consumption().quantity(cpu1, Interval(0, 10)) == 20
+
+    def test_infeasible_returns_none(self, pool, cpu1):
+        assert find_alap_schedule(pool, creq([Demands({cpu1: 51})], 0, 10)) is None
+
+    def test_start_bound_respected(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        # 40 units in (3,10) = 35 available -> infeasible from s=3
+        assert find_alap_schedule(pool, creq([Demands({cpu1: 40})], 3, 10)) is None
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_duality_with_asap(self, seed, cpu1, cpu2):
+        """ALAP-feasible iff ASAP-feasible, on random instances."""
+        rng = random.Random(3000 + seed)
+        instance = oracle_instance(rng, [cpu1, cpu2], max_actors=1, horizon=8)
+        requirement = instance.requirement.components[0]
+        forward = find_schedule(instance.available, requirement)
+        backward = find_alap_schedule(instance.available, requirement)
+        assert (forward is None) == (backward is None)
+        if forward and backward:
+            assert backward.assignments[0].window.start >= requirement.start
+            assert forward.finish_time <= requirement.deadline
+
+
+class TestLatestStartAnalysis:
+    def test_latest_start(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        requirement = creq([Demands({cpu1: 20})], 0, 10)
+        # 20 units need 4 time units at rate 5 -> may start as late as 6
+        assert latest_start(pool, requirement) == 6
+        assert criticality(pool, requirement) == 6
+
+    def test_critical_computation(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        requirement = creq([Demands({cpu1: 50})], 0, 10)
+        assert latest_start(pool, requirement) == 0
+        assert criticality(pool, requirement) == 0
+
+    def test_infeasible_is_none(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        assert latest_start(pool, creq([Demands({cpu1: 51})], 0, 10)) is None
+        assert criticality(pool, creq([Demands({cpu1: 51})], 0, 10)) is None
+
+    def test_multi_phase_latest_start(self, pool, cpu1, net12):
+        requirement = creq([Demands({cpu1: 10}), Demands({net12: 6})], 0, 10)
+        start = latest_start(pool, requirement)
+        # net needs 3 time units ending at 8 (supply ends at 8!) -> phase 2
+        # spans (5,8); phase 1's 10 cpu may end at 5 -> start at 3
+        assert start == 3

@@ -1,0 +1,99 @@
+"""Unit tests for the brute-force transition-tree oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComplexRequirement, ConcurrentRequirement, Demands
+from repro.decision import concurrent_feasible, sequential_feasible
+from repro.errors import SimulationError
+from repro.intervals import Interval
+from repro.resources import ResourceSet, term
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+def conc(*parts):
+    window = Interval(min(p.start for p in parts), max(p.deadline for p in parts))
+    return ConcurrentRequirement(parts, window)
+
+
+class TestSequentialOracle:
+    def test_trivial_feasible(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 5))
+        assert sequential_feasible(pool, creq([Demands({cpu1: 10})], 0, 5))
+
+    def test_trivial_infeasible(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 5))
+        assert not sequential_feasible(pool, creq([Demands({cpu1: 11})], 0, 5))
+
+    def test_ordering_detected(self, cpu1, net12):
+        pool = ResourceSet.of(term(5, net12, 0, 2), term(5, cpu1, 2, 4))
+        assert sequential_feasible(
+            pool, creq([Demands({net12: 10}), Demands({cpu1: 10})], 0, 4)
+        )
+        assert not sequential_feasible(
+            pool, creq([Demands({cpu1: 10}), Demands({net12: 10})], 0, 4)
+        )
+
+    def test_window_start_respected(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 6))
+        assert not sequential_feasible(pool, creq([Demands({cpu1: 10})], 3, 6))
+
+    def test_non_integer_demand_rejected(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 5))
+        with pytest.raises(SimulationError):
+            sequential_feasible(pool, creq([Demands({cpu1: 2.5})], 0, 5))
+
+
+class TestConcurrentOracle:
+    def test_interleaving_found(self, cpu1):
+        """Two jobs, each needing half the window's capacity."""
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        req = conc(
+            creq([Demands({cpu1: 4})], 0, 4, "a"),
+            creq([Demands({cpu1: 4})], 0, 4, "b"),
+        )
+        assert concurrent_feasible(pool, req)
+
+    def test_contention_infeasible(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        req = conc(
+            creq([Demands({cpu1: 5})], 0, 4, "a"),
+            creq([Demands({cpu1: 4})], 0, 4, "b"),
+        )
+        assert not concurrent_feasible(pool, req)
+
+    def test_finds_cross_interleaving_greedy_misses(self, cpu1, cpu2):
+        """The oracle is strictly more complete than one-at-a-time
+        full-rate claiming: two jobs alternating across two CPU types."""
+        pool = ResourceSet.of(term(1, cpu1, 0, 4), term(1, cpu2, 0, 4))
+        req = conc(
+            creq([Demands({cpu1: 2}), Demands({cpu2: 2})], 0, 4, "a"),
+            creq([Demands({cpu2: 2}), Demands({cpu1: 2})], 0, 4, "b"),
+        )
+        assert concurrent_feasible(pool, req)
+
+    def test_deadline_per_component(self, cpu1):
+        pool = ResourceSet.of(term(1, cpu1, 0, 10))
+        req = conc(
+            creq([Demands({cpu1: 3})], 0, 3, "tight"),
+            creq([Demands({cpu1: 3})], 0, 10, "loose"),
+        )
+        assert concurrent_feasible(pool, req)
+        req2 = conc(
+            creq([Demands({cpu1: 4})], 0, 3, "too-tight"),
+            creq([Demands({cpu1: 3})], 0, 10, "loose"),
+        )
+        assert not concurrent_feasible(pool, req2)
+
+    def test_infinite_deadline_rejected(self, cpu1):
+        import math
+
+        pool = ResourceSet.of(term(1, cpu1, 0, 10))
+        with pytest.raises(SimulationError):
+            concurrent_feasible(
+                pool, conc(creq([Demands({cpu1: 1})], 0, math.inf, "a"))
+            )

@@ -1,0 +1,74 @@
+"""Unit tests for Theorem 1 (single-action accommodation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import Demands, SimpleRequirement
+from repro.decision import check, satisfies
+from repro.intervals import Interval
+from repro.resources import ResourceSet, term
+
+
+class TestSatisfies:
+    def test_exact_fit(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        assert satisfies(pool, SimpleRequirement(Demands({cpu1: 50}), Interval(0, 10)))
+
+    def test_one_unit_over(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        assert not satisfies(
+            pool, SimpleRequirement(Demands({cpu1: 51}), Interval(0, 10))
+        )
+
+    def test_window_restriction(self, cpu1):
+        """Theorem 1 premise: quantity must exist within (s, d)."""
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        assert not satisfies(
+            pool, SimpleRequirement(Demands({cpu1: 30}), Interval(5, 10))
+        )
+        assert satisfies(pool, SimpleRequirement(Demands({cpu1: 25}), Interval(5, 10)))
+
+    def test_multi_type(self, cpu1, net12):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10), term(2, net12, 0, 10))
+        good = SimpleRequirement(Demands({cpu1: 10, net12: 10}), Interval(0, 10))
+        bad = SimpleRequirement(Demands({cpu1: 10, net12: 21}), Interval(0, 10))
+        assert satisfies(pool, good)
+        assert not satisfies(pool, bad)
+
+    def test_missing_type(self, cpu1, net12):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        assert not satisfies(
+            pool, SimpleRequirement(Demands({net12: 1}), Interval(0, 10))
+        )
+
+    def test_wrong_location_does_not_help(self, cpu1, cpu2):
+        """Spatial part of the located type matters."""
+        pool = ResourceSet.of(term(100, cpu2, 0, 10))
+        assert not satisfies(
+            pool, SimpleRequirement(Demands({cpu1: 1}), Interval(0, 10))
+        )
+
+
+class TestCheckReport:
+    def test_shortfall_quantified(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 4))
+        report = check(pool, SimpleRequirement(Demands({cpu1: 30}), Interval(0, 4)))
+        assert not report
+        assert report.available[cpu1] == 20
+        assert report.shortfall[cpu1] == 10
+        assert report.total_shortfall == 10
+
+    def test_satisfied_report(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        report = check(pool, SimpleRequirement(Demands({cpu1: 30}), Interval(0, 10)))
+        assert report
+        assert report.total_shortfall == 0
+
+    def test_per_type_breakdown(self, cpu1, net12):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        report = check(
+            pool, SimpleRequirement(Demands({cpu1: 10, net12: 4}), Interval(0, 10))
+        )
+        assert report.shortfall[cpu1] == 0
+        assert report.shortfall[net12] == 4

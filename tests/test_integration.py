@@ -1,0 +1,220 @@
+"""Integration tests: the paper's theorems and claims, end to end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.analysis import confusion, score
+from repro.baselines import (
+    ALL_POLICIES,
+    AggregateAdmission,
+    OptimisticAdmission,
+    RotaAdmission,
+)
+from repro.computation import (
+    Actor,
+    ComplexRequirement,
+    Demands,
+    Evaluate,
+    Migrate,
+    Send,
+    sequential,
+)
+from repro.decision import (
+    AdmissionController,
+    concurrent_feasible,
+    find_schedule,
+)
+from repro.intervals import Interval
+from repro.logic import (
+    RotaModel,
+    accommodate,
+    greedy_path,
+    initial_state,
+    models,
+    satisfy,
+)
+from repro.resources import Node, ResourceSet, cpu, network, term
+from repro.system import OpenSystemSimulator, ReservationPolicy, arrival
+from repro.workloads import (
+    cloud_scenario,
+    oracle_instance,
+    pipeline_scenario,
+    volunteer_scenario,
+)
+
+
+class TestPaperWalkthrough:
+    """The running example of Sections III-IV, end to end."""
+
+    def test_migrating_actor_meets_deadline(self):
+        l1, l2 = Node("l1"), Node("l2")
+        actor = Actor(
+            "a1", l1, (Evaluate("e"), Send("a2"), Migrate(l2), Evaluate("f"))
+        )
+        job = sequential(actor, 0, 20, name="job")
+        pool = ResourceSet.of(
+            term(2, cpu(l1), 0, 20),
+            term(2, network(l1, l2), 0, 20),
+            term(2, cpu(l2), 0, 20),
+        )
+        model = RotaModel(pool)
+        # the send's receiver lives at l2
+        requirement = job.requirement(
+            placement=repro.Placement({"a1": l1, "a2": l2})
+        )
+        schedule = find_schedule(pool, requirement.components[0])
+        assert schedule is not None
+        # demands: cpu(l1)=8, net=4, migrate=3/6/3, cpu(l2)=8 -> phases
+        assert schedule.finish_time <= 20
+
+    def test_deadline_question_answerable_in_advance(self):
+        """'Can we know at time T whether A can complete by D?' — yes."""
+        l1 = Node("l1")
+        pool = ResourceSet.of(term(2, cpu(l1), 0, 10))
+        controller = AdmissionController(pool)
+        job = ComplexRequirement([Demands({cpu(l1): 12})], Interval(0, 10), label="A")
+        decision = controller.can_admit(job)
+        assert decision.admitted  # answered at t=0, before running anything
+        assert decision.schedule.finish_time == 6
+
+
+class TestTheoremCrossValidation:
+    """Theorems 2/3/4 must tell one coherent story across the three
+    implementations: analytic procedure, transition-tree oracle, and the
+    executing simulator."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_procedure_vs_oracle_vs_execution(self, seed):
+        rng = random.Random(seed)
+        instance = oracle_instance(
+            rng, [cpu("l1"), cpu("l2")], max_actors=2, horizon=8
+        )
+        analytic = (
+            repro.find_concurrent_schedule(
+                instance.available, instance.requirement, exhaustive=True
+            )
+            is not None
+        )
+        oracle = concurrent_feasible(instance.available, instance.requirement)
+        # analytic admission is sound wrt the oracle
+        if analytic:
+            assert oracle
+        # and if analytic admits, executing the witness meets deadlines
+        if analytic:
+            policy = RotaAdmission()
+            policy.observe_resources(instance.available, 0)
+            simulator = OpenSystemSimulator(
+                policy,
+                initial_resources=instance.available,
+                allocation_policy=ReservationPolicy(),
+            )
+            start = instance.requirement.start
+            simulator.schedule(arrival(start, instance.requirement, label="inst"))
+            report = simulator.run(
+                max(c.deadline for c in instance.requirement.components)
+            )
+            record = report.record_of("inst")
+            if record.admitted:
+                assert not record.missed
+
+    def test_theorem3_path_existence_matches_admission(self):
+        """If admission says yes, a completing path exists in the tree."""
+        l1 = Node("l1")
+        pool = ResourceSet.of(term(2, cpu(l1), 0, 6))
+        req = ComplexRequirement([Demands({cpu(l1): 8})], Interval(0, 6), label="g")
+        controller = AdmissionController(pool)
+        assert controller.can_admit(req).admitted
+        state = accommodate(initial_state(pool, 0), req)
+        from repro.logic import exists_path
+
+        assert exists_path(state, 6, lambda p: p.completes("g")) is not None
+
+    def test_theorem4_slack_reuse(self):
+        """Admission via expiring slack leaves earlier jobs untouched."""
+        l1 = Node("l1")
+        pool = ResourceSet.of(term(4, cpu(l1), 0, 10))
+        controller = AdmissionController(pool)
+        first = controller.admit(
+            ComplexRequirement([Demands({cpu(l1): 20})], Interval(0, 10), label="a")
+        )
+        second = controller.admit(
+            ComplexRequirement([Demands({cpu(l1): 20})], Interval(0, 10), label="b")
+        )
+        assert first.admitted and second.admitted
+        # execute both committed schedules: no contention by construction
+        merged = first.schedule.consumption() | second.schedule.consumption()
+        assert pool.dominates(merged)
+
+
+class TestSemanticsAgreesWithAdmission:
+    def test_satisfy_formula_equals_controller_verdict(self):
+        l1 = Node("l1")
+        pool = ResourceSet.of(term(2, cpu(l1), 0, 10))
+        committed = ComplexRequirement(
+            [Demands({cpu(l1): 8})], Interval(0, 10), label="busy"
+        )
+        state = accommodate(initial_state(pool, 0), committed)
+        path = greedy_path(state, 10, 1)
+        for quantity in (6, 12, 13):
+            newcomer = ComplexRequirement(
+                [Demands({cpu(l1): quantity})], Interval(0, 10), label="new"
+            )
+            controller = AdmissionController(pool)
+            controller.admit(committed)
+            formula_says = models(path, 0, satisfy(newcomer))
+            controller_says = controller.can_admit(newcomer).admitted
+            assert formula_says == controller_says, quantity
+
+
+class TestScenarioShapes:
+    """The qualitative comparison the paper's argument predicts."""
+
+    @staticmethod
+    def run_policies(scenario):
+        rows = {}
+        for cls in ALL_POLICIES:
+            policy = cls()
+            alloc = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+            simulator = OpenSystemSimulator(
+                policy,
+                initial_resources=scenario.initial_resources,
+                allocation_policy=alloc,
+            )
+            simulator.schedule(*scenario.events)
+            rows[policy.name] = simulator.run(scenario.horizon)
+        return rows
+
+    @pytest.mark.parametrize(
+        "factory,seed",
+        [(cloud_scenario, 7), (pipeline_scenario, 3), (volunteer_scenario, 11)],
+    )
+    def test_rota_sound_everywhere(self, factory, seed):
+        reports = self.run_policies(factory(seed))
+        assert reports["rota"].missed == 0
+        assert reports["rota"].admission_precision == 1.0
+
+    def test_pipeline_punishes_order_blind_baselines(self):
+        reports = self.run_policies(pipeline_scenario(3))
+        assert reports["aggregate"].missed > 0          # Sec III's warning
+        assert reports["countbound"].missed > reports["aggregate"].missed
+        assert reports["optimistic"].missed >= reports["countbound"].missed
+
+    def test_rota_not_timid(self):
+        """Soundness must not come from rejecting everything: ROTA admits
+        at least as much useful work as the sound-looking baselines
+        complete on the cloud scenario."""
+        reports = self.run_policies(cloud_scenario(7))
+        rota = score(reports["rota"])
+        for name in ("aggregate", "startpoint", "countbound"):
+            other = score(reports[name])
+            assert rota.completed >= other.completed - 2
+
+    def test_confusion_vs_rota_reference(self):
+        reports = self.run_policies(pipeline_scenario(3))
+        c = confusion(reports["optimistic"], reports["rota"])
+        assert c.only_policy > 0          # optimistic over-admits
+        assert c.only_reference == 0      # it never rejects what rota takes

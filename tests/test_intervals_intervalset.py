@@ -1,0 +1,141 @@
+"""Unit tests for canonical disjoint interval sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.intervals import Interval, IntervalSet, coalesce
+
+
+class TestCanonicalForm:
+    def test_empty(self):
+        s = IntervalSet()
+        assert s.is_empty
+        assert len(s) == 0
+        assert not s
+
+    def test_drops_empty_intervals(self):
+        s = IntervalSet([Interval(1, 1), Interval(2, 3)])
+        assert s.pieces == (Interval(2, 3),)
+
+    def test_sorts(self):
+        s = IntervalSet([Interval(5, 6), Interval(0, 1)])
+        assert s.pieces == (Interval(0, 1), Interval(5, 6))
+
+    def test_merges_overlaps(self):
+        s = IntervalSet([Interval(0, 4), Interval(2, 6)])
+        assert s.pieces == (Interval(0, 6),)
+
+    def test_merges_adjacent(self):
+        s = IntervalSet([Interval(0, 3), Interval(3, 6)])
+        assert s.pieces == (Interval(0, 6),)
+
+    def test_keeps_gaps(self):
+        s = IntervalSet([Interval(0, 2), Interval(4, 6)])
+        assert len(s) == 2
+
+    def test_nested_absorbed(self):
+        s = IntervalSet([Interval(0, 10), Interval(3, 4)])
+        assert s.pieces == (Interval(0, 10),)
+
+    def test_equality_is_canonical(self):
+        a = IntervalSet([Interval(0, 3), Interval(3, 6)])
+        b = IntervalSet([Interval(0, 6)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_coalesce_helper(self):
+        assert coalesce([Interval(1, 2), Interval(2, 3)]) == (Interval(1, 3),)
+
+
+class TestQueries:
+    def test_measure(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9)])
+        assert s.measure == 6
+
+    def test_span(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9)])
+        assert s.span == Interval(0, 9)
+
+    def test_span_of_empty(self):
+        assert IntervalSet().span.is_empty
+
+    def test_contains_point(self):
+        s = IntervalSet([Interval(0, 2), Interval(5, 9)])
+        assert s.contains_point(1)
+        assert s.contains_point(5)
+        assert not s.contains_point(2)
+        assert not s.contains_point(4)
+        assert not s.contains_point(9)
+
+    def test_contains_set(self):
+        big = IntervalSet([Interval(0, 10)])
+        small = IntervalSet([Interval(1, 2), Interval(4, 7)])
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_iteration(self):
+        pieces = [Interval(0, 1), Interval(2, 3)]
+        assert list(IntervalSet(pieces)) == pieces
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = IntervalSet([Interval(1, 5)])
+        assert (a | b).pieces == (Interval(0, 5),)
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 4), Interval(6, 10)])
+        b = IntervalSet([Interval(3, 8)])
+        assert (a & b).pieces == (Interval(3, 4), Interval(6, 8))
+
+    def test_difference(self):
+        a = IntervalSet([Interval(0, 10)])
+        b = IntervalSet([Interval(2, 3), Interval(5, 6)])
+        assert (a - b).pieces == (
+            Interval(0, 2),
+            Interval(3, 5),
+            Interval(6, 10),
+        )
+
+    def test_difference_no_overlap(self):
+        a = IntervalSet([Interval(0, 2)])
+        b = IntervalSet([Interval(5, 6)])
+        assert (a - b) == a
+
+    def test_difference_everything(self):
+        a = IntervalSet([Interval(1, 4)])
+        assert (a - IntervalSet([Interval(0, 5)])).is_empty
+
+    def test_complement_within(self):
+        s = IntervalSet([Interval(2, 3), Interval(5, 6)])
+        assert s.complement_within(Interval(0, 8)).pieces == (
+            Interval(0, 2),
+            Interval(3, 5),
+            Interval(6, 8),
+        )
+
+    def test_clamp(self):
+        s = IntervalSet([Interval(0, 4), Interval(6, 10)])
+        assert s.clamp(Interval(3, 7)).pieces == (Interval(3, 4), Interval(6, 7))
+
+    def test_demorgan_within_window(self):
+        """(A | B)^c == A^c & B^c within a window."""
+        window = Interval(0, 12)
+        a = IntervalSet([Interval(1, 3), Interval(7, 9)])
+        b = IntervalSet([Interval(2, 5)])
+        lhs = (a | b).complement_within(window)
+        rhs = a.complement_within(window) & b.complement_within(window)
+        assert lhs == rhs
+
+    def test_union_identity(self):
+        a = IntervalSet([Interval(0, 2)])
+        assert (a | IntervalSet()) == a
+
+    def test_intersection_with_empty(self):
+        a = IntervalSet([Interval(0, 2)])
+        assert (a & IntervalSet()).is_empty
+
+    def test_point_span_constructor(self):
+        assert IntervalSet.point_span(2, 5).pieces == (Interval(2, 5),)

@@ -1,0 +1,111 @@
+"""Unit tests for Allen relations (paper Table I)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.intervals import (
+    ALL_RELATIONS,
+    BASE_RELATIONS,
+    INTERPRETATION,
+    Interval,
+    Relation,
+    converse,
+    holds,
+    is_inverse_pair,
+    relate,
+)
+
+# One canonical witness pair per relation.
+WITNESSES = {
+    Relation.BEFORE: (Interval(0, 2), Interval(4, 6)),
+    Relation.AFTER: (Interval(4, 6), Interval(0, 2)),
+    Relation.MEETS: (Interval(0, 3), Interval(3, 6)),
+    Relation.MET_BY: (Interval(3, 6), Interval(0, 3)),
+    Relation.OVERLAPS: (Interval(0, 4), Interval(2, 6)),
+    Relation.OVERLAPPED_BY: (Interval(2, 6), Interval(0, 4)),
+    Relation.STARTS: (Interval(0, 3), Interval(0, 6)),
+    Relation.STARTED_BY: (Interval(0, 6), Interval(0, 3)),
+    Relation.DURING: (Interval(2, 4), Interval(0, 6)),
+    Relation.CONTAINS: (Interval(0, 6), Interval(2, 4)),
+    Relation.FINISHES: (Interval(3, 6), Interval(0, 6)),
+    Relation.FINISHED_BY: (Interval(0, 6), Interval(3, 6)),
+    Relation.EQUALS: (Interval(1, 5), Interval(1, 5)),
+}
+
+
+class TestRelate:
+    @pytest.mark.parametrize("relation", ALL_RELATIONS)
+    def test_witness(self, relation):
+        i, j = WITNESSES[relation]
+        assert relate(i, j) is relation
+
+    @pytest.mark.parametrize("relation", ALL_RELATIONS)
+    def test_holds_predicate(self, relation):
+        i, j = WITNESSES[relation]
+        assert holds(relation, i, j)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            relate(Interval(1, 1), Interval(0, 5))
+        with pytest.raises(InvalidIntervalError):
+            relate(Interval(0, 5), Interval(1, 1))
+
+    def test_exactly_one_relation_holds(self):
+        """Allen relations are jointly exhaustive and pairwise disjoint."""
+        grid = [Interval(a, b) for a in range(5) for b in range(a + 1, 6)]
+        for i, j in itertools.product(grid, repeat=2):
+            matching = [r for r in ALL_RELATIONS if relate(i, j) is r]
+            assert len(matching) == 1
+
+    def test_all_thirteen_reachable(self):
+        grid = [Interval(a, b) for a in range(5) for b in range(a + 1, 6)]
+        seen = {relate(i, j) for i, j in itertools.product(grid, repeat=2)}
+        assert seen == set(ALL_RELATIONS)
+
+
+class TestConverse:
+    @pytest.mark.parametrize("relation", ALL_RELATIONS)
+    def test_converse_swaps_arguments(self, relation):
+        i, j = WITNESSES[relation]
+        assert relate(j, i) is converse(relation)
+
+    @pytest.mark.parametrize("relation", ALL_RELATIONS)
+    def test_converse_involution(self, relation):
+        assert converse(converse(relation)) is relation
+
+    def test_equals_is_self_converse(self):
+        assert converse(Relation.EQUALS) is Relation.EQUALS
+
+    def test_is_inverse_pair(self):
+        assert is_inverse_pair(Relation.BEFORE, Relation.AFTER)
+        assert is_inverse_pair(Relation.EQUALS, Relation.EQUALS)
+        assert not is_inverse_pair(Relation.BEFORE, Relation.MEETS)
+
+
+class TestTableOne:
+    def test_paper_lists_seven_base_relations(self):
+        assert len(BASE_RELATIONS) == 7
+
+    def test_thirteen_total_with_inverses(self):
+        assert len(ALL_RELATIONS) == 13
+        closed = set(BASE_RELATIONS) | {converse(r) for r in BASE_RELATIONS}
+        assert closed == set(ALL_RELATIONS)
+
+    def test_every_relation_has_interpretation(self):
+        assert set(INTERPRETATION) == set(ALL_RELATIONS)
+
+    def test_meets_means_immediately_after(self):
+        """Footnote: tau1 meets tau2 means tau2 starts right as tau1 ends."""
+        assert relate(Interval(0, 5), Interval(5, 7)) is Relation.MEETS
+
+    def test_starts_means_same_start_point(self):
+        """Footnote: starts means the intervals begin together."""
+        assert relate(Interval(2, 4), Interval(2, 9)) is Relation.STARTS
+
+    def test_finishes_means_same_end_point(self):
+        """Footnote: finishes means the intervals end together."""
+        assert relate(Interval(6, 9), Interval(2, 9)) is Relation.FINISHES

@@ -1,0 +1,157 @@
+"""Unit tests for branching-time checking over the evolution tree.
+
+Every operator is cross-validated against brute-force path enumeration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands, SimpleRequirement
+from repro.intervals import Interval
+from repro.logic import accommodate, enumerate_paths, initial_state
+from repro.logic.ctl import AF, AG, EF, EG, EX, AX, StateAtom, TreeChecker, check_tree
+from repro.resources import ResourceSet, cpu, term
+
+CPU1 = cpu("l1")
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def contended():
+    """Capacity 1/slice over (0,4) = 4 units; two 3-unit jobs, deadline 4.
+
+    Over-subscribed: on every branch exactly one of the jobs can finish,
+    so existential and universal readings genuinely diverge.
+    """
+    pool = ResourceSet.of(term(1, CPU1, 0, 4))
+    state = initial_state(pool, 0)
+    state = accommodate(state, creq([Demands({CPU1: 3})], 0, 4, "a"))
+    state = accommodate(state, creq([Demands({CPU1: 3})], 0, 4, "b"))
+    return state
+
+
+def done(label):
+    def predicate(state):
+        try:
+            return state.progress_of(label).is_complete
+        except KeyError:
+            return False
+
+    return predicate
+
+
+class TestOperators:
+    def test_ef_vs_bruteforce(self, contended):
+        """EF done(a) iff some enumerated path has a state with a done."""
+        tree_says = check_tree(contended, EF(done("a")), 4)
+        brute = any(
+            any(done("a")(s) for s in path.states)
+            for path in enumerate_paths(contended, 4, 1)
+        )
+        assert tree_says == brute == True  # noqa: E712
+
+    def test_af_vs_bruteforce(self, contended):
+        """AF done(a) is false: the branch that starves 'a' exists."""
+        tree_says = check_tree(contended, AF(done("a")), 4)
+        brute = all(
+            any(done("a")(s) for s in path.states)
+            for path in enumerate_paths(contended, 4, 1)
+        )
+        assert tree_says == brute == False  # noqa: E712
+
+    def test_af_holds_when_unavoidable(self):
+        pool = ResourceSet.of(term(2, CPU1, 0, 4))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({CPU1: 2})], 0, 4, "a")
+        )
+        # single consumer, maximal splits only: completion is forced
+        assert check_tree(state, AF(done("a")), 4)
+
+    def test_eg_vs_bruteforce(self, contended):
+        """EG not-done(a): some path where 'a' never completes."""
+        not_done = lambda s: not done("a")(s)  # noqa: E731
+        tree_says = check_tree(contended, EG(not_done), 4)
+        brute = any(
+            all(not_done(s) for s in path.states)
+            for path in enumerate_paths(contended, 4, 1)
+        )
+        assert tree_says == brute == True  # noqa: E712
+
+    def test_ag_vs_bruteforce(self, contended):
+        """AG 'no computation has missed yet' fails: some branch starves a
+        job past its deadline... within horizon 4 the deadline IS 4, so at
+        t=4 the starved branch has a miss."""
+        no_miss = lambda s: not s.missed  # noqa: E731
+        tree_says = check_tree(contended, AG(no_miss), 4)
+        brute = all(
+            all(no_miss(s) for s in path.states)
+            for path in enumerate_paths(contended, 4, 1)
+        )
+        assert tree_says == brute == False  # noqa: E712
+
+    def test_ex_ax(self, contended):
+        someone_progressed = lambda s: any(  # noqa: E731
+            p.current_demands != Demands({CPU1: 3}) or p.is_complete
+            for p in s.rho
+        )
+        # capacity 1, maximal splits: exactly one of a/b progresses
+        assert check_tree(contended, EX(someone_progressed), 4)
+        assert check_tree(contended, AX(someone_progressed), 4)
+
+    def test_horizon_cuts_exploration(self, contended):
+        # with horizon 1, 'a' cannot be complete anywhere (needs 3 units)
+        assert not check_tree(contended, EF(done("a")), 1)
+
+    def test_checker_memoises(self, contended):
+        checker = TreeChecker(4)
+        formula = EF(done("a"))
+        assert checker.check(contended, formula)
+        before = len(checker._memo)
+        assert checker.check(contended, formula)
+        assert len(checker._memo) == before  # second run fully cached
+
+
+class TestStateAtom:
+    def test_atom_on_idle_state(self):
+        pool = ResourceSet.of(term(2, CPU1, 0, 10))
+        state = initial_state(pool, 0)
+        assert StateAtom(SimpleRequirement(Demands({CPU1: 20}), Interval(0, 10)))(state)
+        assert not StateAtom(
+            SimpleRequirement(Demands({CPU1: 21}), Interval(0, 10))
+        )(state)
+
+    def test_atom_nets_out_pending_demand(self):
+        pool = ResourceSet.of(term(2, CPU1, 0, 10))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({CPU1: 8})], 0, 10, "busy")
+        )
+        assert StateAtom(SimpleRequirement(Demands({CPU1: 12}), Interval(0, 10)))(state)
+        assert not StateAtom(
+            SimpleRequirement(Demands({CPU1: 13}), Interval(0, 10))
+        )(state)
+
+    def test_atom_closed_window(self):
+        pool = ResourceSet.of(term(2, CPU1, 0, 10))
+        state = initial_state(pool, 6)
+        assert not StateAtom(
+            SimpleRequirement(Demands({CPU1: 1}), Interval(0, 5))
+        )(state)
+
+    def test_atom_complex(self):
+        pool = ResourceSet.of(term(2, CPU1, 0, 10))
+        state = initial_state(pool, 0)
+        assert StateAtom(creq([Demands({CPU1: 10}), Demands({CPU1: 10})], 0, 10))(state)
+
+    def test_ag_admittable_shrinks_over_time(self):
+        """AG satisfy(newcomer) fails when late states cannot fit it, EF
+        holds early — the paper's eventually/always distinction at the
+        tree level."""
+        pool = ResourceSet.of(term(2, CPU1, 0, 6))
+        state = initial_state(pool, 0)
+        atom = StateAtom(SimpleRequirement(Demands({CPU1: 8}), Interval(0, 6)))
+        assert check_tree(state, EF(atom), 6)
+        assert not check_tree(state, AG(atom), 6)

@@ -1,0 +1,121 @@
+"""Unit tests for the RotaModel M = (A, R, C, Phi)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import (
+    Actor,
+    ComplexRequirement,
+    Demands,
+    Evaluate,
+    Send,
+    concurrent,
+    sequential,
+)
+from repro.errors import InvalidComputationError
+from repro.intervals import Interval
+from repro.logic import RotaModel, greedy_path, initial_state
+from repro.resources import Node, ResourceSet, cpu, network, term
+
+
+@pytest.fixture
+def job(l1):
+    """One evaluate: 8 cpu at l1."""
+    return sequential(Actor("worker", l1, (Evaluate("e"),)), 0, 5, name="job")
+
+
+class TestModel:
+    def test_actor_names(self, l1, l2, cpu1):
+        model = RotaModel(
+            ResourceSet.of(term(2, cpu1, 0, 10)),
+            (
+                sequential(Actor("a", l1, (Evaluate("e"),)), 0, 5),
+                sequential(Actor("b", l2, (Evaluate("e"),)), 0, 5),
+            ),
+        )
+        assert model.actor_names == ("a", "b")
+
+    def test_duplicate_actor_names_rejected(self, l1, cpu1):
+        with pytest.raises(InvalidComputationError):
+            RotaModel(
+                ResourceSet.of(term(2, cpu1, 0, 10)),
+                (
+                    sequential(Actor("a", l1, (Evaluate("e"),)), 0, 5),
+                    sequential(Actor("a", l1, (Evaluate("e"),)), 0, 5),
+                ),
+            )
+
+    def test_requirement_resolves_cross_actor_placement(self, l1, l2, cpu1):
+        """A send's link type needs the *other* computation's actor
+        location: the model placement merges all computations."""
+        sender = sequential(Actor("s", l1, (Send("r"),)), 0, 5)
+        receiver = sequential(Actor("r", l2, (Evaluate("e"),)), 0, 5)
+        model = RotaModel(ResourceSet.empty(), (sender, receiver))
+        rho = model.requirement_of(sender)
+        assert rho.total_demands == Demands({network(l1, l2): 4})
+
+    def test_initial_state_accommodates_computations(self, job, cpu1):
+        model = RotaModel(ResourceSet.of(term(2, cpu1, 0, 5)), (job,))
+        state = model.initial_state()
+        assert len(state.rho) == 1
+        bare = model.initial_state(accommodated=False)
+        assert bare.rho == ()
+
+
+class TestTheorem3:
+    def test_meets_deadline_greedy(self, job, cpu1):
+        model = RotaModel(ResourceSet.of(term(2, cpu1, 0, 5)))
+        path = model.meets_deadline(job)
+        assert path is not None
+        # components are labelled by actor name
+        assert path.completes("worker")
+
+    def test_misses_deadline(self, job, cpu1):
+        model = RotaModel(ResourceSet.of(term(1, cpu1, 0, 5)))
+        assert model.meets_deadline(job) is None
+
+    def test_exhaustive_finds_what_greedy_finds(self, job, cpu1):
+        model = RotaModel(ResourceSet.of(term(2, cpu1, 0, 5)))
+        assert model.meets_deadline(job, exhaustive=True) is not None
+
+    def test_concurrent_deadline(self, l1, l2, cpu1, cpu2):
+        comp = concurrent(
+            [Actor("a", l1, (Evaluate("e"),)), Actor("b", l2, (Evaluate("e"),))],
+            0,
+            4,
+            name="pair",
+        )
+        model = RotaModel(
+            ResourceSet.of(term(2, cpu1, 0, 4), term(2, cpu2, 0, 4))
+        )
+        path = model.meets_deadline(comp)
+        assert path is not None
+
+
+class TestTheorem4:
+    def test_can_accommodate_against_idle_path(self, job, cpu1):
+        model = RotaModel(ResourceSet.of(term(4, cpu1, 0, 5)))
+        idle = greedy_path(initial_state(model.resources, 0), 5, 1)
+        schedule = model.can_accommodate(idle, job)
+        assert schedule is not None
+
+    def test_can_accommodate_respects_commitments(self, job, l1, cpu1):
+        """A committed hog leaves no expiring slack for the newcomer."""
+        hog = sequential(
+            Actor("hog", l1, (Evaluate("e", work=5),)), 0, 5, name="hog"
+        )  # 40 units
+        model = RotaModel(ResourceSet.of(term(8, cpu1, 0, 5)), (hog,))
+        committed = greedy_path(model.initial_state(), 5, 1)
+        assert model.can_accommodate(committed, job) is None
+
+    def test_can_accommodate_requirement_argument(self, cpu1):
+        model = RotaModel(ResourceSet.of(term(4, cpu1, 0, 5)))
+        idle = greedy_path(initial_state(model.resources, 0), 5, 1)
+        req = ComplexRequirement([Demands({cpu1: 8})], Interval(0, 5), label="raw")
+        assert model.can_accommodate(idle, req) is not None
+
+    def test_closed_window_rejected(self, job, cpu1):
+        model = RotaModel(ResourceSet.of(term(4, cpu1, 0, 5)))
+        idle = greedy_path(initial_state(model.resources, 0), 5, 1)
+        assert model.can_accommodate(idle, job, at=5) is None

@@ -1,0 +1,112 @@
+"""Unit tests for computation paths and the evolution tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands
+from repro.errors import SimulationError
+from repro.intervals import Interval
+from repro.logic import (
+    ComputationPath,
+    accommodate,
+    enumerate_paths,
+    exists_path,
+    greedy_path,
+    initial_state,
+)
+from repro.resources import ResourceSet, term
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def busy_state(cpu1):
+    pool = ResourceSet.of(term(2, cpu1, 0, 10))
+    return accommodate(initial_state(pool, 0), creq([Demands({cpu1: 6})], 0, 5))
+
+
+class TestGreedyPath:
+    def test_completion(self, busy_state):
+        path = greedy_path(busy_state, 5, 1)
+        assert path.completes("g")
+        assert path.times == (0, 1, 2, 3, 4, 5)
+
+    def test_state_at(self, busy_state):
+        path = greedy_path(busy_state, 5, 1)
+        assert path.state_at(2.5).t == 2
+        assert path.state_at(0).t == 0
+        assert path.state_at(99).t == 5
+
+    def test_final(self, busy_state):
+        path = greedy_path(busy_state, 5, 1)
+        assert path.final.t == 5
+        assert path.final.is_quiescent
+
+    def test_expiring_resources_after_completion(self, busy_state, cpu1):
+        """6 consumed by t=3; 2/step expire for (3,5) inside horizon and
+        the (5,10) tail expires too."""
+        path = greedy_path(busy_state, 5, 1)
+        expiring = path.expiring_resources(Interval(0, 10))
+        assert expiring.quantity(cpu1, Interval(0, 10)) == 4 + 10
+
+    def test_expiring_resources_clipped_window(self, busy_state, cpu1):
+        path = greedy_path(busy_state, 5, 1)
+        expiring = path.expiring_resources(Interval(0, 5))
+        assert expiring.quantity(cpu1, Interval(0, 5)) == 4
+
+    def test_mismatched_chain_rejected(self, busy_state):
+        path = greedy_path(busy_state, 2, 1)
+        with pytest.raises(SimulationError):
+            ComputationPath(path.transitions[1:], busy_state)
+
+
+class TestEnumeration:
+    def test_tree_contains_greedy_branch(self, busy_state):
+        paths = list(enumerate_paths(busy_state, 3, 1))
+        greedy = greedy_path(busy_state, 3, 1)
+        assert any(p.states == greedy.states for p in paths)
+
+    def test_singleton_tree_when_no_choice(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({cpu1: 8})], 0, 4)
+        )
+        paths = list(enumerate_paths(state, 4, 1))
+        assert len(paths) == 1
+
+    def test_contention_fans_out(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 2))
+        state = initial_state(pool, 0)
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 2, "a"))
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 2, "b"))
+        paths = list(enumerate_paths(state, 2, 1))
+        assert len(paths) == 3 * 3
+
+    def test_prune(self, busy_state):
+        paths = list(
+            enumerate_paths(busy_state, 5, 1, prune=lambda s: s.t >= 2)
+        )
+        assert all(p.final.t <= 2 for p in paths)
+
+    def test_exists_path_finds_witness(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        state = initial_state(pool, 0)
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 4, "a"))
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 4, "b"))
+        witness = exists_path(
+            state, 4, lambda p: p.completes("a") and p.completes("b")
+        )
+        assert witness is not None
+
+    def test_exists_path_none_when_impossible(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        state = initial_state(pool, 0)
+        state = accommodate(state, creq([Demands({cpu1: 5})], 0, 4, "a"))
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 4, "b"))
+        assert (
+            exists_path(state, 4, lambda p: p.completes("a") and p.completes("b"))
+            is None
+        )

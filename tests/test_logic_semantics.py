@@ -1,0 +1,167 @@
+"""Unit tests for the satisfaction relation (paper Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import (
+    ComplexRequirement,
+    ConcurrentRequirement,
+    Demands,
+    SimpleRequirement,
+)
+from repro.intervals import Interval
+from repro.logic import (
+    FALSE,
+    TRUE,
+    accommodate,
+    always,
+    eventually,
+    exists_on_some_path,
+    greedy_path,
+    holds_on_all_paths,
+    initial_state,
+    models,
+    satisfy,
+)
+from repro.resources import ResourceSet, term
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def idle_path(cpu1):
+    """Rate-2 cpu over (0,10), nothing consuming: everything expires."""
+    pool = ResourceSet.of(term(2, cpu1, 0, 10))
+    return greedy_path(initial_state(pool, 0), 10, 1)
+
+
+@pytest.fixture
+def busy_path(cpu1):
+    """Same pool, but a committed computation eats 12 units first."""
+    pool = ResourceSet.of(term(2, cpu1, 0, 10))
+    state = accommodate(initial_state(pool, 0), creq([Demands({cpu1: 12})], 0, 10, "busy"))
+    return greedy_path(state, 10, 1)
+
+
+class TestAtomicClauses:
+    def test_true_false(self, idle_path):
+        assert models(idle_path, 0, TRUE)
+        assert not models(idle_path, 0, FALSE)
+
+    def test_satisfy_simple_on_idle(self, idle_path, cpu1):
+        good = SimpleRequirement(Demands({cpu1: 20}), Interval(0, 10))
+        bad = SimpleRequirement(Demands({cpu1: 21}), Interval(0, 10))
+        assert models(idle_path, 0, satisfy(good))
+        assert not models(idle_path, 0, satisfy(bad))
+
+    def test_satisfy_uses_expiring_only(self, busy_path, cpu1):
+        """The committed path consumes 12 of 20; only 8 expire."""
+        assert models(busy_path, 0, satisfy(SimpleRequirement(Demands({cpu1: 8}), Interval(0, 10))))
+        assert not models(busy_path, 0, satisfy(SimpleRequirement(Demands({cpu1: 9}), Interval(0, 10))))
+
+    def test_satisfy_window_lower_bound_is_max_s_t(self, idle_path, cpu1):
+        """Evaluating at t=5 a requirement with s=0: only (5, d) counts."""
+        req = SimpleRequirement(Demands({cpu1: 10}), Interval(0, 10))
+        assert models(idle_path, 0, satisfy(req))
+        assert models(idle_path, 5, satisfy(req))
+        req11 = SimpleRequirement(Demands({cpu1: 11}), Interval(0, 10))
+        assert not models(idle_path, 5, satisfy(req11))
+
+    def test_satisfy_complex(self, idle_path, cpu1):
+        req = creq([Demands({cpu1: 10}), Demands({cpu1: 10})], 0, 10)
+        assert models(idle_path, 0, satisfy(req))
+        req_late = creq([Demands({cpu1: 10}), Demands({cpu1: 10})], 0, 10)
+        assert not models(idle_path, 1, satisfy(req_late))  # only 18 left
+
+    def test_satisfy_complex_closed_window(self, idle_path, cpu1):
+        req = creq([Demands({cpu1: 1})], 0, 5)
+        assert not models(idle_path, 5, satisfy(req))
+
+    def test_satisfy_concurrent(self, idle_path, cpu1):
+        window = Interval(0, 10)
+        req = ConcurrentRequirement(
+            (
+                creq([Demands({cpu1: 10})], 0, 10, "a"),
+                creq([Demands({cpu1: 10})], 0, 10, "b"),
+            ),
+            window,
+        )
+        assert models(idle_path, 0, satisfy(req))
+
+    def test_negation(self, idle_path, cpu1):
+        bad = satisfy(SimpleRequirement(Demands({cpu1: 21}), Interval(0, 10)))
+        assert models(idle_path, 0, ~bad)
+
+
+class TestTemporalClauses:
+    def test_eventually_strictly_future(self, idle_path, cpu1):
+        """<> quantifies over t' > t on the path."""
+        # needs 2 units in (8,10): true at t<=8, and at any t' in between
+        req = SimpleRequirement(Demands({cpu1: 4}), Interval(8, 10))
+        assert models(idle_path, 0, eventually(satisfy(req)))
+
+    def test_eventually_false_when_window_closes(self, idle_path, cpu1):
+        req = SimpleRequirement(Demands({cpu1: 4}), Interval(0, 2))
+        # at every t' > 0 on the path, (max(0,t'), 2) shrinks: at t'=1 only
+        # 2 units remain, at t'>=2 none
+        assert not models(idle_path, 0, eventually(satisfy(req)))
+
+    def test_always(self, cpu1):
+        # A path explored to t=8 leaves (9, 10) untouched: a demand that
+        # fits the tail holds at every future time point of the path.
+        pool = ResourceSet.of(term(2, cpu1, 0, 10))
+        path = greedy_path(initial_state(pool, 0), 8, 1)
+        modest = SimpleRequirement(Demands({cpu1: 2}), Interval(9, 10))
+        assert models(path, 0, always(satisfy(modest)))
+        hungry = SimpleRequirement(Demands({cpu1: 6}), Interval(0, 10))
+        assert not models(path, 0, always(satisfy(hungry)))
+
+    def test_always_fails_once_window_closes(self, idle_path, cpu1):
+        """On a path that reaches the deadline, nothing with positive
+        demand can hold 'always'."""
+        modest = SimpleRequirement(Demands({cpu1: 2}), Interval(9, 10))
+        assert not models(idle_path, 0, always(satisfy(modest)))
+
+    def test_duality(self, idle_path, cpu1):
+        """[] psi == not <> not psi on the same path."""
+        for demand in (2, 6, 25):
+            psi = satisfy(SimpleRequirement(Demands({cpu1: demand}), Interval(0, 10)))
+            assert models(idle_path, 0, always(psi)) == models(
+                idle_path, 0, ~eventually(~psi)
+            )
+
+    def test_and_or_extensions(self, idle_path, cpu1):
+        good = satisfy(SimpleRequirement(Demands({cpu1: 5}), Interval(0, 10)))
+        bad = satisfy(SimpleRequirement(Demands({cpu1: 50}), Interval(0, 10)))
+        assert models(idle_path, 0, good & ~bad)
+        assert models(idle_path, 0, good | bad)
+        assert not models(idle_path, 0, good & bad)
+
+
+class TestBranchingHelpers:
+    def test_exists_on_some_path(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 6))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({cpu1: 6})], 0, 6, "busy")
+        )
+        # on paths where 'busy' consumes early, 6 units expire late
+        witness = exists_on_some_path(
+            state, 6, satisfy(SimpleRequirement(Demands({cpu1: 6}), Interval(0, 6)))
+        )
+        assert witness is not None
+
+    def test_holds_on_all_paths(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 6))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({cpu1: 6})], 0, 6, "busy")
+        )
+        # 'busy' consumes 6 on every complete path, leaving exactly 6:
+        # a demand of 6 holds on paths that finish busy, but on paths where
+        # busy idles to its deadline it misses -> expired amount differs.
+        modest = satisfy(SimpleRequirement(Demands({cpu1: 1}), Interval(0, 6)))
+        assert holds_on_all_paths(state, 6, modest)
+        greedy_only = satisfy(SimpleRequirement(Demands({cpu1: 12}), Interval(0, 6)))
+        assert not holds_on_all_paths(state, 6, greedy_only)

@@ -1,0 +1,115 @@
+"""Unit tests for ROTA system states S = (Theta, rho, t)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands
+from repro.errors import TransitionError
+from repro.intervals import Interval
+from repro.logic import ActorProgress, SystemState, initial_state
+from repro.resources import ResourceSet, term
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def two_phase(cpu1, net12):
+    return creq([Demands({cpu1: 6}), Demands({net12: 4})], 0, 10, "g")
+
+
+class TestActorProgress:
+    def test_initial_remaining_defaults_to_first_phase(self, two_phase, cpu1):
+        progress = ActorProgress(two_phase)
+        assert progress.phase == 0
+        assert progress.remaining == Demands({cpu1: 6})
+        assert not progress.is_complete
+
+    def test_window_accessors(self, two_phase):
+        progress = ActorProgress(two_phase)
+        assert progress.start == 0
+        assert progress.deadline == 10
+        assert progress.label == "g"
+
+    def test_active_at(self, two_phase):
+        progress = ActorProgress(two_phase)
+        assert progress.active_at(0)
+        assert progress.active_at(9)
+        assert not progress.active_at(10)
+
+    def test_consume_partial(self, two_phase, cpu1):
+        progress = ActorProgress(two_phase).after_consuming(Demands({cpu1: 4}))
+        assert progress.phase == 0
+        assert progress.remaining == Demands({cpu1: 2})
+
+    def test_consume_phase_boundary_advances(self, two_phase, cpu1, net12):
+        progress = ActorProgress(two_phase).after_consuming(Demands({cpu1: 6}))
+        assert progress.phase == 1
+        assert progress.current_demands == Demands({net12: 4})
+
+    def test_consume_to_completion(self, two_phase, cpu1, net12):
+        progress = (
+            ActorProgress(two_phase)
+            .after_consuming(Demands({cpu1: 6}))
+            .after_consuming(Demands({net12: 4}))
+        )
+        assert progress.is_complete
+        assert progress.current_demands.is_empty
+
+    def test_over_consumption_rejected(self, two_phase, cpu1):
+        with pytest.raises(TransitionError):
+            ActorProgress(two_phase).after_consuming(Demands({cpu1: 7}))
+
+    def test_wrong_type_consumption_rejected(self, two_phase, net12):
+        """Sequencing: phase 2's type cannot be consumed during phase 1."""
+        with pytest.raises(TransitionError):
+            ActorProgress(two_phase).after_consuming(Demands({net12: 1}))
+
+    def test_completed_cannot_consume(self, two_phase, cpu1, net12):
+        done = (
+            ActorProgress(two_phase)
+            .after_consuming(Demands({cpu1: 6}))
+            .after_consuming(Demands({net12: 4}))
+        )
+        with pytest.raises(TransitionError):
+            done.after_consuming(Demands({cpu1: 1}))
+
+    def test_phase_index_validated(self, two_phase):
+        with pytest.raises(TransitionError):
+            ActorProgress(two_phase, phase=5)
+
+    def test_hashable(self, two_phase):
+        assert hash(ActorProgress(two_phase)) == hash(ActorProgress(two_phase))
+
+
+class TestSystemState:
+    def test_initial_state(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        state = initial_state(pool, 3)
+        assert state.t == 3
+        assert state.theta == pool
+        assert state.rho == ()
+        assert state.is_quiescent
+
+    def test_pending_and_missed(self, two_phase, cpu1):
+        progress = ActorProgress(two_phase)
+        early = SystemState(ResourceSet.empty(), (progress,), 5)
+        assert early.pending == (progress,)
+        assert early.missed == ()
+        late = SystemState(ResourceSet.empty(), (progress,), 10)
+        assert late.missed == (progress,)
+
+    def test_progress_of(self, two_phase):
+        state = SystemState(ResourceSet.empty(), (ActorProgress(two_phase),), 0)
+        assert state.progress_of("g").label == "g"
+        with pytest.raises(KeyError):
+            state.progress_of("ghost")
+
+    def test_value_semantics(self, two_phase, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        a = SystemState(pool, (ActorProgress(two_phase),), 0)
+        b = SystemState(pool, (ActorProgress(two_phase),), 0)
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,162 @@
+"""Unit tests for the seven labeled transition rules (Section V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands
+from repro.errors import TransitionError
+from repro.intervals import Interval
+from repro.logic import (
+    accommodate,
+    acquire,
+    expire,
+    greedy_allocations,
+    initial_state,
+    leave,
+    step,
+    successors,
+)
+from repro.resources import ResourceSet, term
+
+
+def creq(phases, s, d, label="g"):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+@pytest.fixture
+def state(cpu1):
+    pool = ResourceSet.of(term(5, cpu1, 0, 10))
+    return accommodate(initial_state(pool, 0), creq([Demands({cpu1: 12})], 0, 10))
+
+
+class TestTimedRules:
+    def test_sequential_transition(self, state, cpu1):
+        """One actor consumes one type over one slice."""
+        transition = step(state, 1, {"g": Demands({cpu1: 5})})
+        assert transition.target.t == 1
+        assert transition.target.progress_of("g").remaining == Demands({cpu1: 7})
+        assert transition.label.consumed == (("g", cpu1, 5),)
+        assert transition.label.expired == ()
+
+    def test_expiration_rule(self, state, cpu1):
+        """No consumption: the slice's availability expires."""
+        transition = expire(state, 1)
+        assert transition.label.is_pure_expiration
+        assert transition.label.expired == ((cpu1, 5),)
+        assert transition.target.progress_of("g").remaining == Demands({cpu1: 12})
+
+    def test_general_rule_mixes(self, state, cpu1):
+        """Some consumed, the rest expires."""
+        transition = step(state, 1, {"g": Demands({cpu1: 3})})
+        assert transition.label.consumed == (("g", cpu1, 3),)
+        assert transition.label.expired == ((cpu1, 2),)
+
+    def test_past_availability_is_truncated(self, state, cpu1):
+        transition = step(state, 1, {"g": Demands({cpu1: 5})})
+        assert transition.target.theta.quantity(cpu1, Interval(0, 10)) == 45
+
+    def test_overconsumption_rejected(self, state, cpu1):
+        with pytest.raises(TransitionError):
+            step(state, 1, {"g": Demands({cpu1: 6})})
+
+    def test_unknown_label_rejected(self, state, cpu1):
+        with pytest.raises(TransitionError):
+            step(state, 1, {"ghost": Demands({cpu1: 1})})
+
+    def test_nonpositive_dt_rejected(self, state):
+        with pytest.raises(TransitionError):
+            step(state, 0)
+
+    def test_consumption_outside_window_rejected(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({cpu1: 5})], 3, 8)
+        )
+        with pytest.raises(TransitionError):
+            step(state, 1, {"g": Demands({cpu1: 1})})  # t=0 < s=3
+
+    def test_dt_greater_than_one(self, state, cpu1):
+        transition = step(state, 2, {"g": Demands({cpu1: 10})})
+        assert transition.target.t == 2
+        assert transition.target.progress_of("g").remaining == Demands({cpu1: 2})
+
+    def test_greedy_allocations_maximal(self, state, cpu1):
+        allocations = greedy_allocations(state, 1)
+        assert allocations["g"] == Demands({cpu1: 5})
+
+    def test_greedy_respects_remaining_demand(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        state = accommodate(initial_state(pool, 0), creq([Demands({cpu1: 2})], 0, 10))
+        assert greedy_allocations(state, 1)["g"] == Demands({cpu1: 2})
+
+
+class TestInstantaneousRules:
+    def test_acquire(self, state, cpu1):
+        grown = acquire(state, ResourceSet.of(term(3, cpu1, 2, 6)))
+        assert grown.theta.quantity(cpu1, Interval(0, 10)) == 50 + 12
+        assert grown.t == state.t
+
+    def test_accommodate_requires_future_deadline(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        state = initial_state(pool, 6)
+        with pytest.raises(TransitionError):
+            accommodate(state, creq([Demands({cpu1: 1})], 0, 5))
+
+    def test_accommodate_appends_progress(self, state, cpu1):
+        wider = accommodate(state, creq([Demands({cpu1: 1})], 0, 9, label="h"))
+        assert {p.label for p in wider.rho} == {"g", "h"}
+
+    def test_leave_before_start(self, cpu1):
+        pool = ResourceSet.of(term(5, cpu1, 0, 10))
+        state = accommodate(
+            initial_state(pool, 0), creq([Demands({cpu1: 1})], 3, 8)
+        )
+        assert leave(state, "g").rho == ()
+
+    def test_leave_after_start_rejected(self, state):
+        """t >= s: a started computation may not leave."""
+        with pytest.raises(TransitionError):
+            leave(state, "g")
+
+    def test_leave_unknown_rejected(self, state):
+        with pytest.raises(KeyError):
+            leave(state, "ghost")
+
+
+class TestSuccessors:
+    def test_single_consumer_branches(self, cpu1):
+        """Capacity 2, want 5: splits 0, 1, 2 -> but only maximal (2) plus
+        ... maximality: only the full split survives, so exactly one
+        consuming branch; no extra pure-expiration branch is generated
+        separately because split 2 is the only maximal one."""
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        state = accommodate(initial_state(pool, 0), creq([Demands({cpu1: 5})], 0, 4))
+        branches = list(successors(state, 1))
+        assert len(branches) == 1
+        assert branches[0].label.consumed == (("g", cpu1, 2),)
+
+    def test_contention_branches(self, cpu1):
+        """Two actors want the same 2 units: splits (0,2), (1,1), (2,0)."""
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        state = initial_state(pool, 0)
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 4, "a"))
+        state = accommodate(state, creq([Demands({cpu1: 4})], 0, 4, "b"))
+        branches = list(successors(state, 1))
+        assert len(branches) == 3
+        consumed = {tuple(sorted(b.label.consumed)) for b in branches}
+        assert (("a", cpu1, 2),) in consumed
+        assert (("a", cpu1, 1), ("b", cpu1, 1)) in consumed
+        assert (("b", cpu1, 2),) in consumed
+
+    def test_quiescent_state_single_branch(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        branches = list(successors(initial_state(pool, 0), 1))
+        assert len(branches) == 1
+        assert branches[0].label.is_pure_expiration
+
+    def test_all_branches_advance_time(self, cpu1):
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        state = accommodate(initial_state(pool, 0), creq([Demands({cpu1: 5})], 0, 4))
+        for branch in successors(state, 1):
+            assert branch.target.t == 1

@@ -1,0 +1,361 @@
+"""Property-based tests (hypothesis) for the core algebra and procedures.
+
+These are the invariants the paper's formal development rests on:
+interval-algebra laws, resource-set algebra laws, exactness of the greedy
+Theorem 2 procedure against the exhaustive oracle, and admission
+soundness (whatever ROTA admits executes without a miss).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import RotaAdmission
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import find_schedule, sequential_feasible
+from repro.decision.sequential import is_feasible
+from repro.intervals import (
+    ALL_RELATIONS,
+    Interval,
+    IntervalSet,
+    compose,
+    converse,
+    relate,
+)
+from repro.resources import RateProfile, ResourceSet, ResourceTerm, cpu, network
+from repro.system import OpenSystemSimulator, ReservationPolicy, arrival
+
+CPU1 = cpu("l1")
+CPU2 = cpu("l2")
+NET = network("l1", "l2")
+LTYPES = (CPU1, CPU2, NET)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+times = st.integers(min_value=0, max_value=20)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(times)
+    b = draw(st.integers(min_value=a + 1, max_value=a + 21))
+    return Interval(a, b)
+
+
+@st.composite
+def interval_sets(draw):
+    return IntervalSet(draw(st.lists(intervals(), max_size=6)))
+
+
+@st.composite
+def profiles(draw):
+    segments = draw(
+        st.lists(
+            st.tuples(intervals(), st.integers(min_value=0, max_value=9)),
+            max_size=5,
+        )
+    )
+    return RateProfile.from_segments(segments)
+
+
+@st.composite
+def resource_sets(draw):
+    terms = draw(
+        st.lists(
+            st.builds(
+                lambda lt, window, rate: ResourceTerm(rate, lt, window),
+                st.sampled_from(LTYPES),
+                intervals(),
+                st.integers(min_value=0, max_value=9),
+            ),
+            max_size=6,
+        )
+    )
+    return ResourceSet(terms)
+
+
+# ----------------------------------------------------------------------
+# Interval algebra laws
+# ----------------------------------------------------------------------
+
+
+@given(intervals(), intervals())
+def test_exactly_one_relation(i, j):
+    matches = [r for r in ALL_RELATIONS if relate(i, j) is r]
+    assert len(matches) == 1
+
+
+@given(intervals(), intervals())
+def test_converse_law(i, j):
+    assert relate(j, i) is converse(relate(i, j))
+
+
+@given(intervals(), intervals(), intervals())
+def test_composition_soundness(i, j, k):
+    assert relate(i, k) in compose(relate(i, j), relate(j, k))
+
+
+@given(intervals(), intervals())
+def test_intersection_is_largest_common(i, j):
+    common = i.intersection(j)
+    assert i.contains(common) and j.contains(common)
+    if i.overlaps(j):
+        assert not common.is_empty
+
+
+@given(interval_sets(), interval_sets())
+def test_intervalset_union_commutes(a, b):
+    assert a | b == b | a
+
+
+@given(interval_sets(), interval_sets(), interval_sets())
+def test_intervalset_union_associates(a, b, c):
+    assert (a | b) | c == a | (b | c)
+
+
+@given(interval_sets(), interval_sets())
+def test_intervalset_difference_disjoint_from_subtrahend(a, b):
+    assert ((a - b) & b).is_empty
+
+
+@given(interval_sets(), interval_sets())
+def test_intervalset_partition(a, b):
+    """a == (a - b) | (a & b)."""
+    assert ((a - b) | (a & b)) == a
+
+
+@given(interval_sets())
+def test_intervalset_measure_additive_over_pieces(a):
+    assert a.measure == sum(p.duration for p in a.pieces)
+
+
+# ----------------------------------------------------------------------
+# Rate-profile algebra laws
+# ----------------------------------------------------------------------
+
+
+@given(profiles(), profiles())
+def test_profile_addition_commutes(p, q):
+    assert p + q == q + p
+
+
+@given(profiles(), profiles(), profiles())
+def test_profile_addition_associates(p, q, r):
+    assert (p + q) + r == p + (q + r)
+
+
+@given(profiles(), profiles())
+def test_profile_add_sub_roundtrip(p, q):
+    assert (p + q) - q == p
+
+
+@given(profiles(), profiles())
+def test_profile_integral_linear(p, q):
+    window = Interval(0, 50)
+    assert (p + q).integral(window) == p.integral(window) + q.integral(window)
+
+
+@given(profiles(), intervals())
+def test_profile_clamp_bounds_integral(p, window):
+    assert p.clamp(window).integral(Interval(0, 100)) == p.integral(window)
+
+
+@given(profiles(), times, st.integers(min_value=1, max_value=40))
+def test_earliest_accumulation_is_sufficient_and_minimal(p, start, quantity):
+    t = p.earliest_accumulation(start, quantity)
+    if t is None:
+        assert p.integral(Interval(start, 10_000)) < quantity
+    else:
+        assert p.integral(Interval(start, t)) >= quantity
+        # minimality: any strictly earlier endpoint undershoots
+        if t > start:
+            probe = t - (t - start) / 1000
+            assert p.integral(Interval(start, probe)) < quantity
+
+
+# ----------------------------------------------------------------------
+# Resource-set algebra laws
+# ----------------------------------------------------------------------
+
+
+@given(resource_sets(), resource_sets())
+def test_resource_union_commutes(a, b):
+    assert a | b == b | a
+
+
+@given(resource_sets(), resource_sets())
+def test_resource_union_then_minus_roundtrip(a, b):
+    assert (a | b) - b == a
+
+
+@given(resource_sets(), resource_sets())
+def test_union_quantity_additive(a, b):
+    window = Interval(0, 50)
+    for ltype in LTYPES:
+        assert (a | b).quantity(ltype, window) == a.quantity(
+            ltype, window
+        ) + b.quantity(ltype, window)
+
+
+@given(resource_sets())
+def test_terms_roundtrip(a):
+    assert ResourceSet(a.terms()) == a
+
+
+# ----------------------------------------------------------------------
+# Decision-procedure properties
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def divisible_instances(draw):
+    """Instances where demands are multiples of the (constant) rates, so
+    the quantised oracle decides the same question as the exact one."""
+    horizon = draw(st.integers(min_value=4, max_value=8))
+    rates = {lt: draw(st.integers(min_value=1, max_value=3)) for lt in (CPU1, CPU2)}
+    available = ResourceSet(
+        ResourceTerm(rate, lt, Interval(0, horizon)) for lt, rate in rates.items()
+    )
+    phase_count = draw(st.integers(min_value=1, max_value=3))
+    phases = []
+    for _ in range(phase_count):
+        lt = draw(st.sampled_from((CPU1, CPU2)))
+        steps = draw(st.integers(min_value=1, max_value=3))
+        phases.append(Demands({lt: rates[lt] * steps}))
+    s = draw(st.integers(min_value=0, max_value=2))
+    d = draw(st.integers(min_value=s + 2, max_value=horizon))
+    return available, ComplexRequirement(phases, Interval(s, d), label="p")
+
+
+@given(divisible_instances())
+@settings(max_examples=60, deadline=None)
+def test_greedy_matches_oracle_on_divisible_instances(instance):
+    available, requirement = instance
+    assert is_feasible(available, requirement) == sequential_feasible(
+        available, requirement
+    )
+
+
+@given(divisible_instances())
+@settings(max_examples=60, deadline=None)
+def test_schedule_witness_is_valid(instance):
+    """Any schedule returned satisfies Theorem 2's conditions and never
+    overdraws availability."""
+    available, requirement = instance
+    schedule = find_schedule(available, requirement)
+    if schedule is None:
+        return
+    assert schedule.finish_time <= requirement.deadline
+    assert available.dominates(schedule.consumption())
+    if len(requirement.phases) > 1:
+        pinned = requirement.decompose(list(schedule.breakpoints))
+        for simple in pinned:
+            assert simple.satisfied_by(available)
+
+
+@st.composite
+def admission_streams(draw):
+    """A capacity pool plus a stream of integer jobs arriving over time."""
+    horizon = 30
+    rate = draw(st.integers(min_value=2, max_value=5))
+    job_count = draw(st.integers(min_value=1, max_value=6))
+    jobs = []
+    for index in range(job_count):
+        arrival_at = draw(st.integers(min_value=0, max_value=horizon - 6))
+        duration = draw(st.integers(min_value=4, max_value=horizon - arrival_at))
+        phases = [
+            Demands({draw(st.sampled_from((CPU1, NET))): draw(st.integers(1, 12))})
+            for _ in range(draw(st.integers(1, 2)))
+        ]
+        jobs.append(
+            (
+                arrival_at,
+                ComplexRequirement(
+                    phases,
+                    Interval(arrival_at, arrival_at + duration),
+                    label=f"j{index}",
+                ),
+            )
+        )
+    pool = ResourceSet.of(
+        ResourceTerm(rate, CPU1, Interval(0, horizon)),
+        ResourceTerm(2, NET, Interval(0, horizon)),
+    )
+    return pool, jobs
+
+
+@given(admission_streams())
+@settings(max_examples=40, deadline=None)
+def test_rota_admission_is_sound_in_execution(stream):
+    """Soundness, end to end: whatever ROTA admits, the simulator
+    completes before its deadline."""
+    pool, jobs = stream
+    simulator = OpenSystemSimulator(
+        RotaAdmission(),
+        initial_resources=pool,
+        allocation_policy=ReservationPolicy(),
+    )
+    simulator.schedule(*(arrival(at, req) for at, req in jobs))
+    report = simulator.run(30)
+    assert report.missed == 0
+    assert report.completed == report.admitted
+    # full invariant audit on every randomized run
+    from repro.analysis import audit_report
+
+    assert audit_report(report) == []
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trips
+# ----------------------------------------------------------------------
+
+from fractions import Fraction
+
+from repro.computation import ComplexRequirement
+from repro.serialization import (
+    requirement_from_wire,
+    requirement_to_wire,
+    resource_set_from_wire,
+    resource_set_to_wire,
+)
+
+
+@st.composite
+def wire_times(draw):
+    kind = draw(st.sampled_from(["int", "fraction"]))
+    if kind == "int":
+        return draw(st.integers(min_value=0, max_value=1000))
+    numerator = draw(st.integers(min_value=1, max_value=1000))
+    denominator = draw(st.integers(min_value=1, max_value=60))
+    return Fraction(numerator, denominator)
+
+
+@given(resource_sets())
+def test_resource_set_wire_roundtrip(pool):
+    import json
+
+    wire = json.loads(json.dumps(resource_set_to_wire(pool)))
+    assert resource_set_from_wire(wire) == pool
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(LTYPES), wire_times()), min_size=1, max_size=4
+    ),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=1, max_value=50),
+)
+def test_requirement_wire_roundtrip(phase_specs, start, length):
+    import json
+
+    phases = [Demands({lt: max(q, 1) for lt, q in [spec]}) for spec in phase_specs]
+    requirement = ComplexRequirement(
+        phases, Interval(start, start + length), label="wire"
+    )
+    wire = json.loads(json.dumps(requirement_to_wire(requirement)))
+    assert requirement_from_wire(wire) == requirement

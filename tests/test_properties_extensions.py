@@ -1,0 +1,138 @@
+"""Property-based tests for the Section VI extensions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.computation import ComplexRequirement, Demands, SegmentedRequirement, Wait
+from repro.decision.segmented import find_segmented_schedule, is_feasible
+from repro.encapsulation import Enclave, EnclaveError
+from repro.intervals import Interval
+from repro.resources import ResourceSet, ResourceTerm, cpu
+
+CPU1 = cpu("l1")
+CPU2 = cpu("l2")
+HORIZON = 40
+
+
+@st.composite
+def segmented_instances(draw):
+    rate = draw(st.integers(min_value=1, max_value=4))
+    pool = ResourceSet.of(ResourceTerm(rate, CPU1, Interval(0, HORIZON)))
+    segment_count = draw(st.integers(min_value=1, max_value=4))
+    segments = [
+        [Demands({CPU1: draw(st.integers(min_value=1, max_value=12))})]
+        for _ in range(segment_count)
+    ]
+    max_delays = [
+        draw(st.integers(min_value=0, max_value=8))
+        for _ in range(segment_count - 1)
+    ]
+    waits = [Wait(max_delay=d) for d in max_delays]
+    requirement = SegmentedRequirement(
+        segments, waits, Interval(0, HORIZON), label="p"
+    )
+    return pool, requirement, max_delays
+
+
+@given(segmented_instances(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_worst_case_assurance_covers_every_actual_delay(instance, data):
+    """If the worst-case segmented schedule exists, then for ANY actual
+    delays d_i <= max_i the requirement is still feasible — the soundness
+    property the worst-case reasoning buys."""
+    pool, requirement, max_delays = instance
+    if not is_feasible(pool, requirement):
+        return
+    actual = [
+        data.draw(st.integers(min_value=0, max_value=d), label=f"delay{i}")
+        for i, d in enumerate(max_delays)
+    ]
+    relaxed = SegmentedRequirement(
+        [list(segment) for segment in requirement.segments],
+        [Wait(max_delay=d) for d in actual],
+        requirement.window,
+        label="relaxed",
+    )
+    assert is_feasible(pool, relaxed)
+
+
+@given(segmented_instances())
+@settings(max_examples=60, deadline=None)
+def test_segmented_witness_invariants(instance):
+    """Claims never exceed availability, finish respects the deadline, and
+    each segment releases no earlier than the previous finish + delay."""
+    pool, requirement, max_delays = instance
+    schedule = find_segmented_schedule(pool, requirement)
+    if schedule is None:
+        return
+    assert schedule.finish_time <= requirement.deadline
+    assert pool.dominates(schedule.consumption())
+    releases = schedule.release_times()
+    for index in range(1, len(releases)):
+        previous_finish = schedule.segments[index - 1].finish_time
+        assert releases[index] >= previous_finish + max_delays[index - 1]
+
+
+@st.composite
+def enclave_programs(draw):
+    """A random sequence of spawn/admit/dissolve operations."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["spawn", "admit", "dissolve"]),
+                st.integers(min_value=1, max_value=6),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return ops
+
+
+@given(enclave_programs())
+@settings(max_examples=60, deadline=None)
+def test_enclave_conservation_under_random_programs(program):
+    """Whatever sequence of spawns, admissions, and dissolutions runs,
+    resources are conserved: children's holdings plus the root's slack
+    plus root-level commitments never exceed the root's capacity."""
+    window = Interval(0, HORIZON)
+    root = Enclave.root(
+        ResourceSet.of(
+            ResourceTerm(8, CPU1, window), ResourceTerm(8, CPU2, window)
+        )
+    )
+    spawned: list[str] = []
+    counter = 0
+    for op, amount in program:
+        try:
+            if op == "spawn":
+                counter += 1
+                name = f"c{counter}"
+                root.spawn(
+                    name,
+                    ResourceSet.of(ResourceTerm(amount, CPU1, window)),
+                )
+                spawned.append(name)
+            elif op == "admit":
+                target = root.child(spawned[-1]) if spawned else root
+                counter += 1
+                target.admit(
+                    ComplexRequirement(
+                        [Demands({CPU1: amount * 4})], window, label=f"j{counter}"
+                    )
+                )
+            elif op == "dissolve" and spawned:
+                root.dissolve(spawned.pop())
+        except EnclaveError:
+            pass  # rejected operations must leave the invariant intact
+
+        for ltype in (CPU1, CPU2):
+            held_by_children = sum(
+                child.resources.quantity(ltype, window)
+                for child in root.children
+            )
+            slack = root.slack.quantity(ltype, window)
+            total = root.resources.quantity(ltype, window)
+            assert held_by_children + slack <= total

@@ -1,0 +1,220 @@
+"""Unit tests for piecewise-constant rate profiles."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidTermError, UndefinedOperationError
+from repro.intervals import Interval, IntervalSet
+from repro.resources import RateProfile
+
+
+def const(rate, start, end):
+    return RateProfile.constant(rate, Interval(start, end))
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = RateProfile.zero()
+        assert z.is_zero
+        assert z.rate_at(3) == 0
+        assert not z
+
+    def test_constant(self):
+        p = const(5, 0, 10)
+        assert p.rate_at(0) == 5
+        assert p.rate_at(9.99) == 5
+        assert p.rate_at(10) == 0
+        assert p.rate_at(-1) == 0
+
+    def test_constant_zero_rate_is_zero_profile(self):
+        assert const(0, 0, 10).is_zero
+
+    def test_constant_empty_window_is_zero_profile(self):
+        assert const(5, 3, 3).is_zero
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(InvalidTermError):
+            RateProfile([(0, -1)])
+
+    def test_nan_rate_rejected(self):
+        with pytest.raises(InvalidTermError):
+            RateProfile([(0, float("nan"))])
+
+    def test_from_segments_overlap_adds(self):
+        p = RateProfile.from_segments(
+            [(Interval(0, 4), 2), (Interval(2, 6), 3)]
+        )
+        assert p.rate_at(1) == 2
+        assert p.rate_at(3) == 5
+        assert p.rate_at(5) == 3
+
+    def test_normalisation_merges_equal_rates(self):
+        p = RateProfile([(0, 5), (3, 5), (10, 0)])
+        assert p.breakpoints == ((0, 5), (10, 0))
+
+    def test_normalisation_drops_leading_zero(self):
+        p = RateProfile([(0, 0), (5, 3), (10, 0)])
+        assert p.breakpoints == ((5, 3), (10, 0))
+
+    def test_open_ended_profile(self):
+        p = RateProfile([(2, 4)])
+        assert p.rate_at(1_000_000) == 4
+        assert math.isinf(p.horizon) is False  # horizon is last breakpoint time
+
+
+class TestQueries:
+    def test_segments(self):
+        p = RateProfile([(0, 2), (3, 0), (5, 7), (9, 0)])
+        assert list(p.segments()) == [
+            (Interval(0, 3), 2),
+            (Interval(5, 9), 7),
+        ]
+
+    def test_support(self):
+        p = RateProfile([(0, 2), (3, 0), (5, 7), (9, 0)])
+        assert p.support == IntervalSet([Interval(0, 3), Interval(5, 9)])
+
+    def test_peak_rate(self):
+        p = RateProfile([(0, 2), (3, 9), (5, 0)])
+        assert p.peak_rate == 9
+
+    def test_integral_full(self):
+        assert const(5, 0, 10).integral(Interval(0, 10)) == 50
+
+    def test_integral_partial(self):
+        assert const(5, 0, 10).integral(Interval(8, 12)) == 10
+
+    def test_integral_outside(self):
+        assert const(5, 0, 10).integral(Interval(20, 30)) == 0
+
+    def test_integral_multi_segment(self):
+        p = RateProfile([(0, 2), (4, 6), (8, 0)])
+        # 2 over (0,4) + 6 over (4,8) = 8 + 24
+        assert p.integral(Interval(0, 8)) == 32
+        assert p.integral(Interval(3, 5)) == 2 + 6
+
+    def test_min_rate(self):
+        p = RateProfile([(0, 2), (4, 6), (8, 0)])
+        assert p.min_rate(Interval(0, 8)) == 2
+        assert p.min_rate(Interval(5, 7)) == 6
+
+    def test_min_rate_zero_on_gap(self):
+        p = RateProfile([(0, 2), (3, 0), (5, 7), (9, 0)])
+        assert p.min_rate(Interval(2, 6)) == 0
+
+    def test_min_rate_rejects_empty_window(self):
+        with pytest.raises(UndefinedOperationError):
+            const(1, 0, 5).min_rate(Interval(2, 2))
+
+
+class TestEarliestAccumulation:
+    def test_simple(self):
+        assert const(5, 0, 10).earliest_accumulation(0, 20) == 4
+
+    def test_from_offset(self):
+        assert const(5, 0, 10).earliest_accumulation(2, 20) == 6
+
+    def test_exact_fraction(self):
+        t = const(3, 0, 10).earliest_accumulation(0, 10)
+        assert t == Fraction(10, 3)
+
+    def test_across_gap(self):
+        p = RateProfile([(0, 2), (2, 0), (5, 2), (10, 0)])
+        # 4 units by t=2, need 6 more -> 3 time units from t=5
+        assert p.earliest_accumulation(0, 10) == 8
+
+    def test_never_enough(self):
+        assert const(2, 0, 5).earliest_accumulation(0, 11) is None
+
+    def test_zero_quantity_is_start(self):
+        assert const(2, 0, 5).earliest_accumulation(3, 0) == 3
+
+    def test_start_after_supply(self):
+        assert const(2, 0, 5).earliest_accumulation(5, 1) is None
+
+    def test_open_ended_supply(self):
+        p = RateProfile([(0, 2)])
+        assert p.earliest_accumulation(0, 100) == 50
+
+
+class TestAlgebra:
+    def test_add(self):
+        p = const(2, 0, 4) + const(3, 2, 6)
+        assert p.rate_at(1) == 2
+        assert p.rate_at(3) == 5
+        assert p.rate_at(5) == 3
+
+    def test_add_zero_identity(self):
+        p = const(2, 0, 4)
+        assert (p + RateProfile.zero()) == p
+        assert (RateProfile.zero() + p) == p
+
+    def test_subtract(self):
+        p = const(5, 0, 10) - const(2, 2, 6)
+        assert p.rate_at(1) == 5
+        assert p.rate_at(3) == 3
+        assert p.rate_at(7) == 5
+
+    def test_subtract_to_zero(self):
+        p = const(5, 0, 10) - const(5, 0, 10)
+        assert p.is_zero
+
+    def test_subtract_negative_rejected(self):
+        with pytest.raises(UndefinedOperationError):
+            const(2, 0, 10) - const(3, 4, 6)
+
+    def test_subtract_float_tolerance(self):
+        a = const(0.3, 0, 1)
+        b = const(0.1, 0, 1) + const(0.2, 0, 1)
+        # 0.1 + 0.2 > 0.3 in floats; tolerance must absorb it
+        result = a.subtract(b)
+        assert result.is_zero or result.peak_rate < 1e-9
+
+    def test_scale(self):
+        assert const(2, 0, 4).scale(3) == const(6, 0, 4)
+
+    def test_scale_zero(self):
+        assert const(2, 0, 4).scale(0).is_zero
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(InvalidTermError):
+            const(2, 0, 4).scale(-1)
+
+    def test_clamp(self):
+        p = const(5, 0, 10).clamp(Interval(3, 6))
+        assert p == const(5, 3, 6)
+
+    def test_clamp_beyond_support(self):
+        assert const(5, 0, 10).clamp(Interval(20, 30)).is_zero
+
+    def test_clamp_open_window(self):
+        p = const(5, 0, 10).clamp(Interval(3, math.inf))
+        assert p == const(5, 3, 10)
+
+    def test_shift(self):
+        assert const(5, 0, 10).shift(3) == const(5, 3, 13)
+
+    def test_cap(self):
+        p = const(5, 0, 10).cap(const(3, 2, 6))
+        assert p.rate_at(1) == 0
+        assert p.rate_at(3) == 3
+        assert p.rate_at(8) == 0
+
+    def test_dominates(self):
+        assert const(5, 0, 10).dominates(const(3, 2, 6))
+        assert not const(3, 2, 6).dominates(const(5, 0, 10))
+        assert const(1, 0, 1).dominates(RateProfile.zero())
+
+    def test_addition_commutes(self):
+        a = RateProfile([(0, 2), (4, 6), (8, 0)])
+        b = const(1, 3, 9)
+        assert a + b == b + a
+
+    def test_add_then_subtract_roundtrip(self):
+        a = RateProfile([(0, 2), (4, 6), (8, 0)])
+        b = const(1, 3, 9)
+        assert (a + b) - b == a

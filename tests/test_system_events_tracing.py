@@ -1,0 +1,77 @@
+"""Unit tests for events and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import OptimisticAdmission
+from repro.computation import ComplexRequirement, Demands
+from repro.intervals import Interval
+from repro.resources import ResourceSet, term
+from repro.system import (
+    ComputationArrivalEvent,
+    OpenSystemSimulator,
+    ResourceJoinEvent,
+    SimulationTrace,
+    arrival,
+    resource_join,
+)
+
+
+def creq(phases, s, d, label):
+    return ComplexRequirement(phases, Interval(s, d), label=label)
+
+
+class TestEvents:
+    def test_arrival_wraps_complex(self, cpu1):
+        event = arrival(3, creq([Demands({cpu1: 1})], 3, 9, "x"))
+        assert isinstance(event, ComputationArrivalEvent)
+        assert event.label == "x"
+        assert len(event.requirement.components) == 1
+
+    def test_arrival_label_defaults(self, cpu1):
+        event = arrival(3, creq([Demands({cpu1: 1})], 3, 9, ""))
+        assert event.label  # synthesised
+
+    def test_resource_join(self, cpu1):
+        event = resource_join(5, ResourceSet.of(term(1, cpu1, 5, 9)))
+        assert isinstance(event, ResourceJoinEvent)
+        assert event.time == 5
+
+    def test_sequence_numbers_monotone(self, cpu1):
+        a = arrival(0, creq([Demands({cpu1: 1})], 0, 9, "a"))
+        b = arrival(0, creq([Demands({cpu1: 1})], 0, 9, "b"))
+        assert a.seq < b.seq
+
+
+class TestTrace:
+    @pytest.fixture
+    def report(self, cpu1):
+        pool = ResourceSet.of(term(4, cpu1, 0, 10))
+        sim = OpenSystemSimulator(OptimisticAdmission(), initial_resources=pool)
+        sim.schedule(arrival(0, creq([Demands({cpu1: 8})], 0, 10, "a")))
+        return sim.run(10)
+
+    def test_step_count(self, report):
+        assert report.trace.steps == 10
+
+    def test_consumed_totals(self, report, cpu1):
+        assert report.trace.consumed_totals() == {cpu1: 8}
+
+    def test_expired_totals(self, report, cpu1):
+        assert report.trace.expired_totals() == {cpu1: 32}
+
+    def test_consumption_by_actor(self, report, cpu1):
+        assert report.trace.consumption_by_actor() == {"a": {cpu1: 8}}
+
+    def test_notes_recorded(self, report):
+        assert any("arrival" in msg for _, msg in report.trace.timeline())
+
+    def test_timeline_sorted(self, report):
+        times = [t for t, _ in report.trace.timeline()]
+        assert times == sorted(times)
+
+    def test_empty_trace(self):
+        trace = SimulationTrace()
+        assert trace.steps == 0
+        assert trace.consumed_totals() == {}

@@ -1,0 +1,118 @@
+"""Unit tests for event-stream persistence (record & replay)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.baselines import RotaAdmission
+from repro.computation import ComplexRequirement, Demands
+from repro.errors import RotaError
+from repro.intervals import Interval
+from repro.resources import ResourceSet, term
+from repro.serialization import SerializationError
+from repro.system import (
+    ComputationLeaveEvent,
+    OpenSystemSimulator,
+    ResourceRevocationEvent,
+    arrival,
+    resource_join,
+)
+from repro.workloads import cloud_scenario, volunteer_scenario
+from repro.workloads.persistence import (
+    event_from_wire,
+    event_to_wire,
+    iter_events,
+    load_events,
+    save_events,
+)
+
+
+def sample_events(cpu1):
+    return [
+        resource_join(0, ResourceSet.of(term(4, cpu1, 0, 20))),
+        arrival(
+            1,
+            ComplexRequirement([Demands({cpu1: 8})], Interval(1, 10), label="j1"),
+        ),
+        ComputationLeaveEvent(time=2, label="j1"),
+        ResourceRevocationEvent(
+            time=5, resources=ResourceSet.of(term(1, cpu1, 5, 20))
+        ),
+    ]
+
+
+class TestWireForm:
+    def test_every_kind_roundtrips(self, cpu1):
+        for event in sample_events(cpu1):
+            clone = event_from_wire(event_to_wire(event))
+            assert type(clone) is type(event)
+            assert clone.time == event.time
+
+    def test_arrival_requirement_preserved(self, cpu1):
+        original = sample_events(cpu1)[1]
+        clone = event_from_wire(event_to_wire(original))
+        assert clone.requirement == original.requirement
+        assert clone.label == "j1"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            event_from_wire({"event": "meteor", "time": 0})
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path, cpu1):
+        events = sample_events(cpu1)
+        path = tmp_path / "trace.jsonl"
+        assert save_events(events, path) == len(events)
+        loaded = load_events(path)
+        assert len(loaded) == len(events)
+        assert [type(e) for e in loaded] == [type(e) for e in events]
+
+    def test_stream_objects(self, cpu1):
+        buffer = io.StringIO()
+        save_events(sample_events(cpu1), buffer)
+        buffer.seek(0)
+        assert len(load_events(buffer)) == 4
+
+    def test_iter_events(self, tmp_path, cpu1):
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events(cpu1), path)
+        assert sum(1 for _ in iter_events(path)) == 4
+
+    def test_blank_lines_skipped(self, tmp_path, cpu1):
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events(cpu1)[:1], path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_events(path)) == 1
+
+    def test_corrupt_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"event": "resource_join"\n')
+        with pytest.raises(SerializationError, match="line 1"):
+            load_events(path)
+
+
+class TestReplayFidelity:
+    @pytest.mark.parametrize("factory", [cloud_scenario, volunteer_scenario])
+    def test_replayed_scenario_gives_identical_report(self, tmp_path, factory):
+        """Record a generated scenario, replay it, and the simulation
+        outcome must match record for record."""
+        scenario = factory(5)
+        path = tmp_path / "scenario.jsonl"
+        save_events(scenario.events, path)
+        replayed = load_events(path)
+
+        outcomes = []
+        for events in (scenario.events, replayed):
+            simulator = OpenSystemSimulator(
+                RotaAdmission(), initial_resources=scenario.initial_resources
+            )
+            simulator.schedule(*events)
+            report = simulator.run(scenario.horizon)
+            outcomes.append(
+                sorted((r.label, r.outcome) for r in report.records)
+            )
+        assert outcomes[0] == outcomes[1]
