@@ -5,14 +5,23 @@ closes the loop at run level, checking global invariants any correct
 execution must satisfy:
 
 * **conservation** — per located type, offered = consumed + expired
-  (modulo numerically-negligible dust); revocation runs opt out with
-  ``allow_revocation`` since revoked capacity was offered but neither
-  consumed nor expired through a transition;
+  (modulo numerically-negligible dust).  Fault runs opt in with
+  ``allow_revocation``: capacity lost to revocations, crashes, and
+  straggler degradation is measured into the trace, so the *extended*
+  identity ``offered = consumed + expired + lost`` must balance exactly —
+  a strictly stronger check than waving revoked quantity through.  The
+  same identity is assertable mid-run via
+  :func:`midrun_conservation_violations` (the simulator's
+  ``invariant_interval`` option), turning the auditor into a runtime
+  invariant checker;
 * **demand accounting** — a completed computation consumed exactly its
-  total demand; an admitted-but-unfinished one consumed strictly less;
-  a rejected one consumed nothing;
-* **outcome sanity** — completed and missed are mutually exclusive;
-  finish times lie inside the run; misses only after the deadline.
+  total demand (recovered-then-completed included: salvage before the
+  violation plus the residual afterwards sum to the original demand); an
+  admitted-but-unfinished one consumed strictly less; a rejected one
+  consumed nothing;
+* **outcome sanity** — completed/missed/abandoned are mutually exclusive;
+  finish times lie inside the run; misses only after the deadline;
+  abandonment and recovery only after a recorded promise violation.
 
 ``audit_report`` returns human-readable violation strings (empty list =
 clean); the property suites assert emptiness on randomized runs, making
@@ -23,8 +32,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.intervals.interval import Interval, Time
+from repro.logic.state import SystemState
 from repro.resources.profile import EPSILON
 from repro.system.simulator import SimulationReport
+from repro.system.tracing import SimulationTrace
 
 
 def audit_report(
@@ -47,6 +59,29 @@ def assert_clean(report: SimulationReport, *, allow_revocation: bool = False) ->
         )
 
 
+def midrun_conservation_violations(
+    offered: Dict,
+    trace: SimulationTrace,
+    state: SystemState,
+    horizon: Time,
+) -> List[str]:
+    """The extended conservation identity, checked at a live instant.
+
+    Capacity still ahead of the clock (``state.theta`` within
+    ``(state.t, horizon)``) has neither been consumed nor expired, so::
+
+        offered = consumed + expired + lost + remaining
+
+    must already balance.  The simulator's ``invariant_interval`` option
+    calls this every N slices and raises on the first imbalance.
+    """
+    return trace.conservation_gaps(
+        offered,
+        remaining=state.theta,
+        remaining_window=Interval(state.t, horizon),
+    )
+
+
 # ----------------------------------------------------------------------
 
 def _close(a, b) -> bool:
@@ -54,18 +89,15 @@ def _close(a, b) -> bool:
 
 
 def _audit_conservation(report: SimulationReport, allow_revocation: bool):
+    if allow_revocation:
+        # Extended identity: losses are measured, so the balance is exact.
+        yield from report.trace.conservation_gaps(report.offered)
+        return
     consumed = report.trace.consumed_totals()
     expired = report.trace.expired_totals()
     for ltype, offered in report.offered.items():
         accounted = consumed.get(ltype, 0) + expired.get(ltype, 0)
-        if allow_revocation:
-            # Revoked capacity was offered but vanished silently.
-            if float(accounted) > float(offered) + 1e-6:
-                yield (
-                    f"conservation: {ltype} accounts for {accounted} "
-                    f"but only {offered} was offered"
-                )
-        elif not _close(accounted, offered):
+        if not _close(accounted, offered):
             yield (
                 f"conservation: {ltype} offered {offered} but "
                 f"consumed+expired = {accounted}"
@@ -99,12 +131,20 @@ def _audit_demand_accounting(report: SimulationReport):
                 f"{record.label}: unfinished yet consumed {consumed} "
                 f"> demand {demand}"
             )
+        if record.abandoned and not _close(record.salvaged, consumed):
+            yield (
+                f"{record.label}: abandoned with salvage {record.salvaged} "
+                f"!= consumed {consumed}"
+            )
 
 
 def _audit_outcomes(report: SimulationReport):
+    violated = {v.label for v in report.trace.violations}
     for record in report.records:
         if record.completed and record.missed:
             yield f"{record.label}: both completed and missed"
+        if record.abandoned and (record.completed or record.missed):
+            yield f"{record.label}: abandoned yet also completed/missed"
         if record.completed and record.finish_time is None:
             yield f"{record.label}: completed without a finish time"
         if record.finish_time is not None and record.finish_time > report.horizon:
@@ -117,3 +157,10 @@ def _audit_outcomes(report: SimulationReport):
                 f"{record.label}: marked missed but its deadline "
                 f"{record.window.end} lies beyond the horizon"
             )
+        if (record.recovered or record.abandoned) and record.label not in violated:
+            yield (
+                f"{record.label}: recovered/abandoned without a recorded "
+                "promise violation"
+            )
+        if record.abandoned and record.violated_at is None:
+            yield f"{record.label}: abandoned but never marked violated"

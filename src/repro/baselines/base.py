@@ -54,6 +54,23 @@ class AdmissionPolicy(abc.ABC):
     def on_leave(self, label: str, now: Time) -> None:
         """An admitted computation withdrew before starting (optional)."""
 
+    def observe_loss(self, lost: ResourceSet, now: Time) -> None:
+        """Capacity vanished unannounced at ``now`` (optional).
+
+        Only called by fault-aware simulations running a recovery
+        pipeline: honest recovery re-admits against *surviving* resources,
+        so the policy's availability view must shrink.  Fault runs without
+        recovery deliberately leave policies blind — measuring what the
+        pre-declared-leave assumption is worth is their whole point.
+        """
+
+    def forfeit(self, label: str, now: Time) -> None:
+        """An admitted computation's promise was violated (optional).
+
+        The simulator evicted it; policies tracking commitments should
+        release the victim's claims so re-admission sees the freed slack.
+        """
+
     def retry_candidates(
         self, now: Time
     ) -> list[tuple[str, ConcurrentRequirement]]:

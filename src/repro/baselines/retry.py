@@ -12,6 +12,12 @@ resources join, until its deadline passes (or a retry budget runs out).
 Wrapped around ROTA, rejections stop being final verdicts and become
 "not with what I can see today" — admissions arrive late but remain fully
 assured, because every retry goes through the same Theorem 4 check.
+
+:class:`ExponentialBackoff` generalizes the retry cadence: instead of
+re-offering on *every* new frontier, attempts are spaced by a capped
+exponential delay.  The fault-recovery pipeline
+(:mod:`repro.faults.recovery`) reuses the same schedule between
+re-admission offers for promise-violation victims.
 """
 
 from __future__ import annotations
@@ -21,8 +27,41 @@ from typing import Dict, List, Tuple
 
 from repro.baselines.base import AdmissionPolicy, PolicyDecision
 from repro.computation.requirements import ConcurrentRequirement
+from repro.errors import RecoveryError
 from repro.intervals.interval import Time
 from repro.resources.resource_set import ResourceSet
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Capped exponential delays: ``min(cap, base * factor**attempt)``.
+
+    ``attempt`` counts completed attempts, so the first re-offer waits
+    ``base`` and each rejection doubles (by default) the wait, up to
+    ``cap``.  Deterministic on purpose: fault experiments must replay
+    bit-identically, so jitter is left to workload seeds, not the backoff.
+    """
+
+    base: Time = 1
+    factor: float = 2.0
+    cap: Time = 16
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.cap < self.base or self.factor < 1:
+            raise RecoveryError(
+                f"invalid backoff: base={self.base!r} factor={self.factor!r} "
+                f"cap={self.cap!r} (need base > 0, cap >= base, factor >= 1)"
+            )
+
+    def delay(self, attempt: int) -> Time:
+        """Delay before re-offer number ``attempt + 1``."""
+        if attempt < 0:
+            raise RecoveryError(f"attempt must be non-negative, got {attempt}")
+        raw = self.base * (self.factor ** attempt)
+        if raw >= float(self.cap):
+            return self.cap
+        # Keep integral delays integral so event times stay on the grid.
+        return type(self.base)(raw) if raw == int(raw) else raw
 
 
 @dataclass
@@ -30,19 +69,24 @@ class _Pending:
     label: str
     requirement: ConcurrentRequirement
     attempts: int = 0
+    #: earliest time the next re-offer may happen (backoff gating)
+    eligible_at: Time = 0
 
 
 class RetryingPolicy(AdmissionPolicy):
-    """Wrap an admission policy with a bounded retry queue."""
+    """Wrap an admission policy with a bounded, optionally backed-off
+    retry queue."""
 
     def __init__(
         self,
         inner: AdmissionPolicy,
         *,
         max_retries: int = 10,
+        backoff: ExponentialBackoff | None = None,
     ) -> None:
         self._inner = inner
         self._max_retries = max_retries
+        self._backoff = backoff
         self._pending: Dict[str, _Pending] = {}
         self.name = f"{inner.name}+retry"
         #: labels admitted on a retry rather than on first offer
@@ -65,10 +109,15 @@ class RetryingPolicy(AdmissionPolicy):
         if not decision.admitted and requirement.deadline > now:
             label = requirement.components[0].label.split("[")[0] or "arrival"
             if label in self._pending:
-                # a retry round: count the attempt
-                self._pending[label].attempts += 1
-                if self._pending[label].attempts >= self._max_retries:
+                # a retry round: count the attempt, push out the next one
+                pending = self._pending[label]
+                pending.attempts += 1
+                if pending.attempts >= self._max_retries:
                     del self._pending[label]
+                elif self._backoff is not None:
+                    pending.eligible_at = now + self._backoff.delay(
+                        pending.attempts
+                    )
             else:
                 self._pending[label] = _Pending(label, requirement)
         elif decision.admitted:
@@ -80,6 +129,12 @@ class RetryingPolicy(AdmissionPolicy):
 
     def on_leave(self, label: str, now: Time) -> None:
         self._inner.on_leave(label, now)
+
+    def observe_loss(self, lost: ResourceSet, now: Time) -> None:
+        self._inner.observe_loss(lost, now)
+
+    def forfeit(self, label: str, now: Time) -> None:
+        self._inner.forfeit(label, now)
 
     def retry_candidates(
         self, now: Time
@@ -94,4 +149,5 @@ class RetryingPolicy(AdmissionPolicy):
         return [
             (pending.label, pending.requirement)
             for pending in self._pending.values()
+            if pending.eligible_at <= now
         ]

@@ -56,3 +56,16 @@ class RotaAdmission(AdmissionPolicy):
             # The simulator already validated the leave rule; a label the
             # controller tracked under a different key is not an error.
             pass
+
+    def observe_loss(self, lost: ResourceSet, now: Time) -> None:
+        self._controller.advance_to(now)
+        self._controller.revoke_resources(lost)
+
+    def forfeit(self, label: str, now: Time) -> None:
+        self._controller.advance_to(now)
+        try:
+            self._controller.forfeit(label)
+        except Exception:
+            # A victim admitted by a wrapped/aliased label may be tracked
+            # under a different key; eviction is best-effort by design.
+            pass

@@ -8,6 +8,11 @@ Three subcommands cover the library's everyday uses without writing code:
       python -m repro scenario pipeline --seed 3
       python -m repro scenario cloud --policy rota
 
+  Fault-injection flags run the faulty variant (see :mod:`repro.faults`)::
+
+      python -m repro scenario volunteer --crash-rate 0.05 \\
+          --revocation-rate 0.3 --fault-seed 7 --recover
+
 * ``check`` — one-shot feasibility: read a JSON document holding a
   resource set and a requirement (the wire format of
   :mod:`repro.serialization`), print the verdict and witness::
@@ -57,6 +62,30 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["all", *(cls.name for cls in ALL_POLICIES)],
         default="all",
     )
+    faults = scenario.add_argument_group(
+        "fault injection", "run the scenario's faulty variant (repro.faults)"
+    )
+    faults.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="Poisson rate of unannounced node crashes per time unit",
+    )
+    faults.add_argument(
+        "--revocation-rate", type=float, default=0.0,
+        help="per-session probability of early capacity revocation",
+    )
+    faults.add_argument(
+        "--straggler-rate", type=float, default=0.0,
+        help="Poisson rate of rate-degradation (straggler) faults",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault plan",
+    )
+    faults.add_argument(
+        "--recover", action="store_true",
+        help="route promise-violation victims through the recovery "
+        "pipeline (re-admission with capped exponential backoff)",
+    )
 
     check = sub.add_parser("check", help="one-shot admission check from JSON")
     check.add_argument(
@@ -91,14 +120,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, RecoveryPolicy, faulty_scenario
+
+    from repro.errors import FaultInjectionError
+
     factory = SCENARIOS[args.name]
     scenario = factory(args.seed) if args.seed is not None else factory()
+    try:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            crash_rate=args.crash_rate,
+            revocation_rate=args.revocation_rate,
+            straggler_rate=args.straggler_rate,
+        )
+    except FaultInjectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not plan.is_benign:
+        scenario = faulty_scenario(scenario, plan)
+    recovery = RecoveryPolicy() if args.recover else None
     chosen = (
         ALL_POLICIES
         if args.policy == "all"
         else tuple(cls for cls in ALL_POLICIES if cls.name == args.policy)
     )
     rows = []
+    fault_lines = []
     for cls in chosen:
         policy = cls()
         allocation = (
@@ -108,10 +155,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             policy,
             initial_resources=scenario.initial_resources,
             allocation_policy=allocation,
+            recovery=recovery,
         )
         simulator.schedule(*scenario.events)
-        rows.append(score(simulator.run(scenario.horizon)))
+        report = simulator.run(scenario.horizon)
+        rows.append(score(report))
+        if not plan.is_benign:
+            fault_lines.append(
+                f"  {report.policy_name}: "
+                f"violations={len(report.violations)} "
+                f"recovered={report.recovered} abandoned={report.abandoned}"
+            )
     print(policy_table(rows, title=f"scenario={scenario.name}"))
+    if fault_lines:
+        print("promise violations under faults:")
+        print("\n".join(fault_lines))
     return 0
 
 

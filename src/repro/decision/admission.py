@@ -32,7 +32,7 @@ from repro.computation.requirements import (
 from repro.decision.concurrent import find_concurrent_schedule
 from repro.decision.schedule import ConcurrentSchedule, Schedule
 from repro.decision.sequential import find_schedule
-from repro.errors import TransitionError
+from repro.errors import TransitionError, UndefinedOperationError
 from repro.intervals.interval import Time
 from repro.resources.resource_set import ResourceSet
 from repro.resources.term import ResourceTerm
@@ -132,6 +132,43 @@ class AdmissionController:
     def align(self) -> Time | None:
         """The witness-alignment grid (None = exact continuous time)."""
         return self._align
+
+    def revoke_resources(self, lost: ResourceSet) -> None:
+        """Capacity vanished unannounced (a promise violation, outside the
+        paper's model): shrink the availability view, clamped at zero.
+
+        Committed schedules are *not* re-planned here — their backing may
+        be gone, which is exactly what :meth:`forfeit` accounts for when
+        the violation is detected.  Pointwise, the surviving slack is
+        ``max(0, available - committed - lost)``, and
+        ``slack.saturating_minus(lost)`` computes exactly that, so the
+        Theorem-4 check never sees free capacity that no longer exists.
+        """
+        if not isinstance(lost, ResourceSet):
+            lost = ResourceSet(lost)
+        self._available = self._available.saturating_minus(lost)
+        self._slack = self._slack.saturating_minus(lost)
+
+    def forfeit(self, label: str) -> None:
+        """Remove an admitted computation whose promise was violated.
+
+        Unlike :meth:`withdraw` (the paper's leave rule, valid only while
+        ``t < s``), forfeiture is a *recovery* action: the victim may have
+        started.  Its claimed consumption leaves the committed path and
+        the slack is rebuilt from surviving availability, so re-admission
+        attempts reason against reality.
+        """
+        schedule = self._schedules.pop(label, None)
+        if schedule is None:
+            raise TransitionError(f"no admitted computation labelled {label!r}")
+        consumption = schedule.consumption()
+        try:
+            self._committed = self._committed - consumption
+        except UndefinedOperationError:
+            # Numerical dust can leave the committed union fractionally
+            # below one component's claim; clamp instead of failing.
+            self._committed = self._committed.saturating_minus(consumption)
+        self._slack = self._available.saturating_minus(self._committed)
 
     def reserve(self, resources: ResourceSet) -> None:
         """Mark ``resources`` as committed without a schedule — used by

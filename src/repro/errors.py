@@ -58,3 +58,18 @@ class SimulationError(RotaError, RuntimeError):
 
 class WorkloadError(RotaError, ValueError):
     """A workload generator received inconsistent parameters."""
+
+
+class FaultInjectionError(RotaError, ValueError):
+    """A fault plan or fault event is inconsistent (negative rates,
+    unknown locations, degradation factors outside [0, 1), ...).
+
+    Faults deliberately violate the paper's model, but the *injection*
+    machinery itself must stay well-formed — a malformed plan is a bug in
+    the experiment, not an injected fault."""
+
+
+class RecoveryError(RotaError, RuntimeError):
+    """The promise-violation recovery pipeline reached an inconsistent
+    configuration (e.g. a recovery offer for a computation that was never
+    made a victim)."""

@@ -1,0 +1,37 @@
+"""Fault injection and promise-violation recovery.
+
+The paper's open-system model is cooperatively dynamic: "if a resource is
+going to leave the system in the future, the time of leaving must be
+explicitly specified at the time of joining", so every admission promise
+is sound by construction.  This package deliberately breaks that
+assumption — crashes, unannounced revocations, stragglers — and gives the
+simulator the machinery to *survive* the breakage:
+
+* :class:`FaultPlan` — seeded, deterministic generation of unannounced
+  fault events, composable with any existing scenario
+  (:func:`faulty_scenario`).
+* :func:`find_victims` / :class:`PromiseViolation` — detection of admitted
+  computations whose remaining feasible window died.
+* :class:`RecoveryPolicy` — the victim pipeline: re-admission against
+  surviving resources through the same Theorem-4 check, capped
+  exponential backoff between offers, and graceful degradation into an
+  explicit ``abandoned`` outcome with salvage accounting.
+"""
+
+from repro.baselines.retry import ExponentialBackoff
+from repro.faults.detection import Victim, find_victims, residual_requirement
+from repro.faults.plan import FaultPlan, faulty_scenario
+from repro.faults.recovery import RecoveryPolicy
+from repro.system.tracing import PromiseViolation, ResourceLoss
+
+__all__ = [
+    "ExponentialBackoff",
+    "FaultPlan",
+    "faulty_scenario",
+    "find_victims",
+    "residual_requirement",
+    "PromiseViolation",
+    "RecoveryPolicy",
+    "ResourceLoss",
+    "Victim",
+]

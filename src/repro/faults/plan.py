@@ -1,0 +1,218 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` turns any existing scenario into its faulty variant:
+given the scenario's resource-join events (the sessions whose leave times
+were honestly pre-declared, per :mod:`repro.workloads.churn`), the plan
+injects *unannounced* events the paper's model forbids:
+
+* **crashes** — Poisson-arriving :class:`NodeCrashEvent`\\ s: every
+  resource at a node vanishes now, not at its declared end;
+* **revocations** — per-session early capacity loss
+  (:class:`ResourceRevocationEvent`, via
+  :func:`repro.workloads.churn.broken_promises`);
+* **stragglers** — Poisson-arriving :class:`RateDegradationEvent`\\ s: a
+  node keeps running but delivers only a fraction of its declared rate.
+
+Everything derives from ``random.Random(seed)`` alone, so two runs with
+the same plan and workload produce identical traces — the determinism the
+CI suite asserts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import List, Optional, Sequence
+
+from repro.errors import FaultInjectionError
+from repro.resources.located_type import Node
+from repro.system.events import (
+    Event,
+    NodeCrashEvent,
+    RateDegradationEvent,
+    ResourceJoinEvent,
+)
+from repro.system.node import Topology
+from repro.workloads.churn import broken_promises
+from repro.workloads.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic description of what goes wrong, and when."""
+
+    seed: int = 0
+    #: Poisson rate of node crashes per time unit (0 disables)
+    crash_rate: float = 0.0
+    #: per-session probability of early, unannounced revocation
+    revocation_rate: float = 0.0
+    #: Poisson rate of straggler (rate-degradation) events per time unit
+    straggler_rate: float = 0.0
+    #: surviving rate fraction after a straggler fault, in [0, 1)
+    straggler_factor: float = 0.5
+    #: how early (time units) a revocation lands before the declared end
+    min_early: int = 2
+    max_early: int = 10
+
+    def __post_init__(self) -> None:
+        if self.crash_rate < 0 or self.straggler_rate < 0:
+            raise FaultInjectionError(
+                "fault rates must be non-negative, got "
+                f"crash_rate={self.crash_rate!r} "
+                f"straggler_rate={self.straggler_rate!r}"
+            )
+        if not 0 <= self.revocation_rate <= 1:
+            raise FaultInjectionError(
+                f"revocation_rate must lie in [0, 1], got "
+                f"{self.revocation_rate!r}"
+            )
+        if not 0 <= self.straggler_factor < 1:
+            raise FaultInjectionError(
+                f"straggler_factor must lie in [0, 1), got "
+                f"{self.straggler_factor!r}"
+            )
+        if self.min_early < 1 or self.max_early < self.min_early:
+            raise FaultInjectionError(
+                f"invalid early-revocation bounds "
+                f"[{self.min_early}, {self.max_early}]"
+            )
+
+    @property
+    def is_benign(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            self.crash_rate == 0
+            and self.revocation_rate == 0
+            and self.straggler_rate == 0
+        )
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """The same plan with every rate multiplied by ``intensity`` —
+        the knob fault-rate sweeps turn (revocation probability clamps
+        at 1)."""
+        if intensity < 0:
+            raise FaultInjectionError(
+                f"intensity must be non-negative, got {intensity!r}"
+            )
+        return replace(
+            self,
+            crash_rate=self.crash_rate * intensity,
+            revocation_rate=min(1.0, self.revocation_rate * intensity),
+            straggler_rate=self.straggler_rate * intensity,
+        )
+
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        *,
+        horizon: int,
+        locations: Sequence[Node],
+        sessions: Sequence[ResourceJoinEvent] = (),
+    ) -> List[Event]:
+        """All injected fault events for one run, deterministically.
+
+        ``locations`` are the nodes crashes and stragglers may strike;
+        ``sessions`` are the join events revocations may violate.
+        """
+        if horizon <= 0:
+            raise FaultInjectionError(
+                f"horizon must be positive, got {horizon!r}"
+            )
+        rng = random.Random(self.seed)
+        out: List[Event] = []
+        if self.revocation_rate > 0 and sessions:
+            out.extend(
+                broken_promises(
+                    rng,
+                    list(sessions),
+                    violation_rate=self.revocation_rate,
+                    min_early=self.min_early,
+                    max_early=self.max_early,
+                )
+            )
+        if locations:
+            out.extend(
+                NodeCrashEvent(time=t, location=rng.choice(list(locations)))
+                for t in _poisson_times(rng, self.crash_rate, horizon)
+            )
+            factor = Fraction(self.straggler_factor).limit_denominator(10_000)
+            out.extend(
+                RateDegradationEvent(
+                    time=t,
+                    location=rng.choice(list(locations)),
+                    factor=factor,
+                )
+                for t in _poisson_times(rng, self.straggler_rate, horizon)
+            )
+        return out
+
+
+def _poisson_times(
+    rng: random.Random, rate: float, horizon: int
+) -> List[int]:
+    """Integer-grid Poisson arrival times in ``[1, horizon)``."""
+    if rate <= 0:
+        return []
+    times: List[int] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        at = int(t)
+        if at >= horizon:
+            return times
+        if at >= 1:  # a fault at t=0 would precede the scenario itself
+            times.append(at)
+
+
+def faulty_scenario(
+    scenario: Scenario,
+    plan: FaultPlan,
+    *,
+    topology: Optional[Topology] = None,
+) -> Scenario:
+    """Compose a scenario with a fault plan: same workload, plus faults.
+
+    Crash/straggler locations come from ``topology`` when given, else
+    from every node mentioned by the scenario's resources (initial set
+    and join events).  The original scenario object is never mutated.
+    """
+    if topology is not None:
+        locations: List[Node] = list(topology.nodes)
+    else:
+        locations = _mentioned_nodes(scenario)
+    sessions = [
+        event
+        for event in scenario.events
+        if isinstance(event, ResourceJoinEvent)
+    ]
+    injected = plan.events(
+        horizon=scenario.horizon, locations=locations, sessions=sessions
+    )
+    return Scenario(
+        name=f"{scenario.name}+faults@{plan.seed}",
+        initial_resources=scenario.initial_resources,
+        events=[*scenario.events, *injected],
+        horizon=scenario.horizon,
+    )
+
+
+def _mentioned_nodes(scenario: Scenario) -> List[Node]:
+    """Every node hosting capacity anywhere in the scenario, in first-seen
+    order (deterministic, so fault plans replay)."""
+    seen: dict = {}
+
+    def visit(ltypes) -> None:
+        for ltype in ltypes:
+            location = ltype.location
+            if isinstance(location, Node):
+                seen.setdefault(location, None)
+            else:  # a link: both endpoints host capacity
+                seen.setdefault(location.source, None)
+                seen.setdefault(location.destination, None)
+
+    visit(scenario.initial_resources.located_types)
+    for event in scenario.events:
+        if isinstance(event, ResourceJoinEvent):
+            visit(event.resources.located_types)
+    return list(seen)

@@ -1,16 +1,21 @@
 """Open-system simulation substrate.
 
 Event-driven execution of the ROTA transition rules with pluggable
-admission and allocation policies; topologies; traces.
+admission and allocation policies; topologies; traces; fault events.
 """
 
 from repro.system.events import (
     ComputationArrivalEvent,
     ComputationLeaveEvent,
     Event,
+    NodeCrashEvent,
+    RateDegradationEvent,
+    RecoveryOfferEvent,
     ResourceJoinEvent,
     ResourceRevocationEvent,
     arrival,
+    node_crash,
+    rate_degradation,
     resource_join,
 )
 from repro.system.node import Topology
@@ -25,15 +30,25 @@ from repro.system.simulator import (
     OpenSystemSimulator,
     SimulationReport,
 )
-from repro.system.tracing import SimulationTrace, TraceNote
+from repro.system.tracing import (
+    PromiseViolation,
+    ResourceLoss,
+    SimulationTrace,
+    TraceNote,
+)
 
 __all__ = [
     "ComputationArrivalEvent",
     "ComputationLeaveEvent",
     "Event",
+    "NodeCrashEvent",
+    "RateDegradationEvent",
+    "RecoveryOfferEvent",
     "ResourceJoinEvent",
     "ResourceRevocationEvent",
     "arrival",
+    "node_crash",
+    "rate_degradation",
     "resource_join",
     "Topology",
     "AllocationPolicy",
@@ -43,6 +58,8 @@ __all__ = [
     "ComputationRecord",
     "OpenSystemSimulator",
     "SimulationReport",
+    "PromiseViolation",
+    "ResourceLoss",
     "SimulationTrace",
     "TraceNote",
 ]

@@ -18,7 +18,9 @@ from repro.computation.requirements import (
     ComplexRequirement,
     ConcurrentRequirement,
 )
+from repro.errors import FaultInjectionError
 from repro.intervals.interval import Time
+from repro.resources.located_type import Node
 from repro.resources.resource_set import ResourceSet
 
 _sequence = itertools.count()
@@ -68,11 +70,50 @@ class ResourceRevocationEvent(_Ordered):
     resources: ResourceSet = field(default=None, compare=False)  # type: ignore[assignment]
 
 
+@dataclass(frozen=True, order=True)
+class NodeCrashEvent(_Ordered):
+    """Every resource located at ``location`` vanishes *now*.
+
+    A crash is the harshest promise violation: unlike a revocation (which
+    names specific terms), a crash wipes the node's CPU-like resources and
+    every link touching the node, regardless of their declared intervals.
+    """
+
+    location: "Node" = field(default=None, compare=False)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True, order=True)
+class RateDegradationEvent(_Ordered):
+    """A straggler fault: from ``time`` on, resources located at
+    ``location`` deliver only ``factor`` of their declared rate.
+
+    ``factor`` is the *surviving* fraction in [0, 1); the complement of
+    the declared future capacity is lost, unannounced.
+    """
+
+    location: "Node" = field(default=None, compare=False)  # type: ignore[assignment]
+    factor: object = field(default=None, compare=False)  # Fraction | float
+
+
+@dataclass(frozen=True, order=True)
+class RecoveryOfferEvent(_Ordered):
+    """Internal: re-offer a promise-violation victim to admission.
+
+    Scheduled by the simulator's recovery pipeline with capped exponential
+    backoff between attempts; never part of user-authored workloads.
+    """
+
+    label: str = field(default="", compare=False)
+
+
 Event = Union[
     ResourceJoinEvent,
     ComputationArrivalEvent,
     ComputationLeaveEvent,
     ResourceRevocationEvent,
+    NodeCrashEvent,
+    RateDegradationEvent,
+    RecoveryOfferEvent,
 ]
 
 
@@ -91,3 +132,23 @@ def arrival(
 
 def resource_join(time: Time, resources: ResourceSet) -> ResourceJoinEvent:
     return ResourceJoinEvent(time=time, resources=resources)
+
+
+def node_crash(time: Time, location: Node | str) -> NodeCrashEvent:
+    """Convenience constructor accepting a node or its name."""
+    if isinstance(location, str):
+        location = Node(location)
+    return NodeCrashEvent(time=time, location=location)
+
+
+def rate_degradation(
+    time: Time, location: Node | str, factor
+) -> RateDegradationEvent:
+    """Convenience constructor; ``factor`` is the surviving rate fraction."""
+    if isinstance(location, str):
+        location = Node(location)
+    if not 0 <= float(factor) < 1:
+        raise FaultInjectionError(
+            f"degradation factor must lie in [0, 1), got {factor!r}"
+        )
+    return RateDegradationEvent(time=time, location=location, factor=factor)

@@ -14,6 +14,15 @@ evaluation: an admission policy's promise ("this computation's deadline is
 assured") is checked against what actually happens when the admitted set
 executes.  Deadline misses of admitted computations are the soundness
 failures the paper's reasoning is designed to rule out.
+
+Beyond the paper's model, the simulator also executes *fault* events
+(crashes, unannounced revocations, stragglers — see :mod:`repro.faults`):
+every capacity loss is measured into the trace so the extended
+conservation identity ``offered = consumed + expired + lost`` stays
+checkable, victims of dead promises are detected at the instant of the
+fault, and — when a :class:`~repro.faults.recovery.RecoveryPolicy` is
+configured — routed through re-admission with capped exponential backoff,
+or gracefully abandoned with salvage accounting.
 """
 
 from __future__ import annotations
@@ -27,18 +36,21 @@ from repro.computation.requirements import ConcurrentRequirement
 from repro.errors import SimulationError, TransitionError
 from repro.intervals.interval import Interval, Time
 from repro.logic.state import SystemState, initial_state
-from repro.logic.transitions import Transition, accommodate, acquire, leave, step
-from repro.resources.located_type import LocatedType
+from repro.logic.transitions import accommodate, acquire, leave, step
+from repro.resources.located_type import LocatedType, Node
 from repro.resources.resource_set import ResourceSet
 from repro.system.events import (
     ComputationArrivalEvent,
     ComputationLeaveEvent,
     Event,
+    NodeCrashEvent,
+    RateDegradationEvent,
+    RecoveryOfferEvent,
     ResourceJoinEvent,
     ResourceRevocationEvent,
 )
 from repro.system.scheduler import AllocationPolicy, EdfPolicy, ReservationPolicy
-from repro.system.tracing import SimulationTrace
+from repro.system.tracing import PromiseViolation, SimulationTrace
 
 
 @dataclass
@@ -55,13 +67,25 @@ class ComputationRecord:
     completed: bool = False
     finish_time: Optional[Time] = None
     missed: bool = False
+    #: time the admission promise was detected dead (None = never violated)
+    violated_at: Optional[Time] = None
+    #: re-admission offers made by the recovery pipeline
+    recovery_attempts: int = 0
+    #: re-admitted after a violation (completion then counts as recovered)
+    recovered: bool = False
+    #: the recovery pipeline gave up; the record is terminal, not stuck
+    abandoned: bool = False
+    #: consumed quantity credited to the computation when it was abandoned
+    salvaged: float = 0.0
 
     @property
     def outcome(self) -> str:
         if not self.admitted:
             return "rejected"
+        if self.abandoned:
+            return "abandoned"
         if self.completed:
-            return "completed"
+            return "recovered" if self.recovered else "completed"
         if self.missed:
             return "missed"
         return "running"
@@ -100,6 +124,19 @@ class SimulationReport:
         return sum(1 for r in self.records if not r.admitted)
 
     @property
+    def recovered(self) -> int:
+        """Violated computations that were re-admitted and completed."""
+        return sum(1 for r in self.records if r.completed and r.recovered)
+
+    @property
+    def abandoned(self) -> int:
+        return sum(1 for r in self.records if r.abandoned)
+
+    @property
+    def violations(self) -> tuple[PromiseViolation, ...]:
+        return tuple(self.trace.violations)
+
+    @property
     def admission_precision(self) -> float:
         """Fraction of admitted computations whose deadline held."""
         admitted = self.admitted
@@ -120,6 +157,15 @@ class SimulationReport:
         raise KeyError(f"no record for {label!r}")
 
 
+@dataclass
+class _ActiveVictim:
+    """A promise-violation victim between eviction and its final fate."""
+
+    label: str
+    residual: ConcurrentRequirement
+    attempts: int = 0
+
+
 class OpenSystemSimulator:
     """Event-driven executor of the ROTA open-system rules."""
 
@@ -131,9 +177,15 @@ class OpenSystemSimulator:
         allocation_policy: AllocationPolicy | None = None,
         dt: Time = 1,
         start_time: Time = 0,
+        recovery: "RecoveryPolicy | None" = None,
+        invariant_interval: int = 0,
     ) -> None:
         if dt <= 0:
             raise SimulationError(f"dt must be positive, got {dt!r}")
+        if invariant_interval < 0:
+            raise SimulationError(
+                f"invariant_interval must be >= 0, got {invariant_interval!r}"
+            )
         self._admission = admission_policy
         self._allocation = allocation_policy or EdfPolicy()
         self._dt = dt
@@ -142,6 +194,12 @@ class OpenSystemSimulator:
             initial_resources or ResourceSet.empty(), start_time
         )
         self._start_time = start_time
+        self._recovery = recovery
+        self._invariant_interval = invariant_interval
+        # Run-scoped fault/recovery bookkeeping (reset by run()).
+        self._victims: Dict[str, _ActiveVictim] = {}
+        self._flagged: set = set()
+        self._horizon: Time = 0
         if initial_resources is not None and not initial_resources.is_empty:
             self._admission.observe_resources(initial_resources, start_time)
 
@@ -165,6 +223,9 @@ class OpenSystemSimulator:
         consumed: Dict[LocatedType, Time] = {}
         trace = SimulationTrace()
         run_window = Interval(self._start_time, horizon)
+        self._victims = {}
+        self._flagged = set()
+        self._horizon = horizon
 
         def tally_offered(resources: ResourceSet) -> None:
             for ltype in resources.located_types:
@@ -176,9 +237,19 @@ class OpenSystemSimulator:
 
         while state.t < horizon:
             # 1. Instantaneous rules at the current instant.
+            fault_causes: List[str] = []
             while self._events and self._events[0][0] <= state.t:
                 _, _, event = heapq.heappop(self._events)
-                state = self._apply_event(event, state, records, tally_offered, trace)
+                state = self._apply_event(
+                    event, state, records, tally_offered, trace, fault_causes
+                )
+
+            # 1b. Faults landed this instant: detect promise violations
+            # and (when configured) route victims through recovery.
+            if fault_causes:
+                state = self._handle_violations(
+                    state, records, trace, fault_causes
+                )
 
             # 2. One timed slice via the general transition rule.
             allocations = self._allocation.allocate(state, self._dt)
@@ -192,7 +263,17 @@ class OpenSystemSimulator:
             # every component completes; it misses when any component is
             # still unfinished at the arrival's deadline.
             for record in records.values():
-                if not record.admitted or record.completed or record.missed:
+                if (
+                    not record.admitted
+                    or record.completed
+                    or record.missed
+                    or record.abandoned
+                ):
+                    continue
+                if record.label in self._victims:
+                    # Awaiting re-admission; give up at the deadline.
+                    if state.t >= record.window.end:
+                        self._abandon(record, trace, state.t)
                     continue
                 components = [
                     p
@@ -207,6 +288,31 @@ class OpenSystemSimulator:
                     record.finish_time = state.t
                 elif state.t >= record.window.end:
                     record.missed = True
+
+            # 4. Optional runtime invariant check: the extended
+            # conservation identity must hold at every sampled instant.
+            if (
+                self._invariant_interval
+                and trace.steps % self._invariant_interval == 0
+            ):
+                gaps = trace.conservation_gaps(
+                    offered,
+                    remaining=state.theta,
+                    remaining_window=Interval(state.t, horizon),
+                )
+                if gaps:
+                    raise SimulationError(
+                        "conservation broken mid-run at t="
+                        f"{state.t}:\n  " + "\n  ".join(gaps)
+                    )
+
+        # A victim still awaiting re-admission when the run ends is stuck
+        # by construction — it was evicted and holds no capacity — so
+        # graceful degradation settles it as abandoned, never "running".
+        for label in list(self._victims):
+            record = records.get(label)
+            if record is not None and not record.abandoned:
+                self._abandon(record, trace, state.t)
 
         self._state = state
         return SimulationReport(
@@ -226,6 +332,7 @@ class OpenSystemSimulator:
         records: Dict[str, "ComputationRecord"],
         tally_offered,
         trace: SimulationTrace,
+        fault_causes: List[str],
     ) -> SystemState:
         if isinstance(event, ResourceJoinEvent):
             joining = event.resources.truncate_before(state.t)
@@ -250,6 +357,12 @@ class OpenSystemSimulator:
                 ):
                     self._allocation.reserve(label, decision.schedule)
                 state = accommodate(state, _relabel(requirement, label))
+            # ... and a new frontier for evicted victims too: offer
+            # re-admission ahead of their backoff schedule.
+            for label in list(self._victims):
+                state = self._offer_recovery(
+                    state, records[label], trace, reason="join"
+                )
             return state
 
         if isinstance(event, ComputationArrivalEvent):
@@ -282,18 +395,39 @@ class OpenSystemSimulator:
             return state
 
         if isinstance(event, ResourceRevocationEvent):
-            # A promise violation: future capacity disappears.  The state's
-            # theta shrinks (clamped at zero); admission policies are NOT
-            # told — their committed schedules silently lost their backing,
-            # which is exactly the failure mode being measured.
+            # A promise violation: future capacity disappears.  Without a
+            # recovery pipeline, admission policies are NOT told — their
+            # committed schedules silently lost their backing, which is
+            # exactly the failure mode being measured.
             revoked = event.resources.truncate_before(state.t)
             trace.note(
                 state.t,
                 f"revocation: {len(revoked.located_types)} types lose capacity",
             )
-            return SystemState(
-                state.theta.saturating_minus(revoked), state.rho, state.t
+            fault_causes.append("revocation")
+            return self._apply_loss(state, revoked, "revocation", trace)
+
+        if isinstance(event, NodeCrashEvent):
+            lost = _resources_at(state.theta, event.location)
+            trace.note(state.t, f"crash: node {event.location} vanishes")
+            fault_causes.append("crash")
+            return self._apply_loss(state, lost, "crash", trace)
+
+        if isinstance(event, RateDegradationEvent):
+            survives = event.factor
+            lost = _degradation_loss(state.theta, event.location, survives)
+            trace.note(
+                state.t,
+                f"straggler: node {event.location} degrades to {survives}",
             )
+            fault_causes.append("degradation")
+            return self._apply_loss(state, lost, "degradation", trace)
+
+        if isinstance(event, RecoveryOfferEvent):
+            record = records.get(event.label)
+            if record is None or event.label not in self._victims:
+                return state  # victim already settled; stale offer
+            return self._offer_recovery(state, record, trace, reason="backoff")
 
         if isinstance(event, ComputationLeaveEvent):
             try:
@@ -312,6 +446,193 @@ class OpenSystemSimulator:
             return state
 
         raise SimulationError(f"unknown event {event!r}")
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _apply_loss(
+        self,
+        state: SystemState,
+        lost: ResourceSet,
+        cause: str,
+        trace: SimulationTrace,
+    ) -> SystemState:
+        """Shrink ``theta`` and measure exactly how much capacity died."""
+        if lost.is_empty:
+            return state
+        measure = Interval(state.t, self._horizon)
+        survived = state.theta.saturating_minus(lost)
+        for ltype in state.theta.located_types:
+            gone = state.theta.quantity(ltype, measure) - survived.quantity(
+                ltype, measure
+            )
+            if gone > 1e-12:
+                trace.record_loss(state.t, cause, ltype, gone)
+        if self._recovery is not None:
+            # Honest recovery reasons against surviving resources only.
+            self._admission.observe_loss(lost, state.t)
+        return SystemState(survived, state.rho, state.t)
+
+    def _handle_violations(
+        self,
+        state: SystemState,
+        records: Dict[str, ComputationRecord],
+        trace: SimulationTrace,
+        fault_causes: List[str],
+    ) -> SystemState:
+        from repro.faults.detection import find_victims
+
+        cause = "+".join(sorted(set(fault_causes)))
+        candidates = [
+            record.label
+            for record in records.values()
+            if record.admitted
+            and not record.completed
+            and not record.missed
+            and not record.abandoned
+            and record.label not in self._victims
+            and record.label not in self._flagged
+        ]
+        for label, remaining_total in find_victims(state, candidates):
+            record = records[label]
+            record.violated_at = state.t
+            self._flagged.add(label)
+            trace.record_violation(
+                PromiseViolation(
+                    time=state.t,
+                    label=label,
+                    cause=cause,
+                    deadline=record.window.end,
+                    remaining_total=remaining_total,
+                )
+            )
+            trace.note(state.t, f"promise violated: {label!r} ({cause})")
+            if self._recovery is not None:
+                state = self._begin_recovery(state, record, trace)
+        return state
+
+    def _begin_recovery(
+        self,
+        state: SystemState,
+        record: ComputationRecord,
+        trace: SimulationTrace,
+    ) -> SystemState:
+        """Evict the victim and start the re-admission pipeline."""
+        from repro.faults.detection import components_of, residual_requirement
+
+        label = record.label
+        components = components_of(state, label)
+        residual = residual_requirement(components, state.t, label)
+        component_ids = {id(p) for p in components}
+        state = state.replace_progress(
+            tuple(p for p in state.rho if id(p) not in component_ids)
+        )
+        self._admission.forfeit(label, state.t)
+        if isinstance(self._allocation, ReservationPolicy):
+            self._allocation.release(label)
+            for progress in components:
+                self._allocation.release(progress.label)
+        self._victims[label] = _ActiveVictim(label, residual)
+        assert self._recovery is not None
+        if self._recovery.immediate_first_offer:
+            state = self._offer_recovery(state, record, trace, reason="eviction")
+        else:
+            self.schedule(
+                RecoveryOfferEvent(
+                    time=state.t + self._recovery.next_offer_delay(1),
+                    label=label,
+                )
+            )
+        return state
+
+    def _offer_recovery(
+        self,
+        state: SystemState,
+        record: ComputationRecord,
+        trace: SimulationTrace,
+        *,
+        reason: str,
+    ) -> SystemState:
+        """One re-admission attempt; schedules the next or abandons."""
+        assert self._recovery is not None
+        victim = self._victims.get(record.label)
+        if victim is None:
+            return state
+        now = state.t
+        if now >= record.window.end:
+            self._abandon(record, trace, now)
+            return state
+        victim.attempts += 1
+        record.recovery_attempts = victim.attempts
+        decision = self._admission.decide(victim.residual, now)
+        if decision.admitted:
+            del self._victims[record.label]
+            self._flagged.discard(record.label)
+            record.recovered = True
+            trace.note(
+                now,
+                f"recovered {record.label!r} on offer {victim.attempts} "
+                f"({reason})",
+            )
+            if decision.schedule is not None and isinstance(
+                self._allocation, ReservationPolicy
+            ):
+                self._allocation.reserve(record.label, decision.schedule)
+            return accommodate(state, _relabel(victim.residual, record.label))
+        if victim.attempts >= self._recovery.max_attempts:
+            self._abandon(record, trace, now)
+            return state
+        self.schedule(
+            RecoveryOfferEvent(
+                time=now + self._recovery.next_offer_delay(victim.attempts),
+                label=record.label,
+            )
+        )
+        return state
+
+    def _abandon(
+        self, record: ComputationRecord, trace: SimulationTrace, now: Time
+    ) -> None:
+        """Graceful degradation: terminal outcome plus salvage accounting."""
+        victim = self._victims.pop(record.label, None)
+        if victim is not None:
+            record.recovery_attempts = victim.attempts
+        record.abandoned = True
+        salvaged = 0.0
+        for actor, amounts in trace.consumption_by_actor().items():
+            if actor.split("[")[0] == record.label:
+                salvaged += float(sum(amounts.values()))
+        record.salvaged = salvaged
+        trace.note(
+            now,
+            f"abandoned {record.label!r} after {record.recovery_attempts} "
+            f"offers (salvaged {salvaged:g})",
+        )
+
+
+def _resources_at(theta: ResourceSet, location: Node) -> ResourceSet:
+    """Everything located at a node: its own resources plus every link
+    touching it (a crashed peer can neither compute nor communicate)."""
+    doomed = {}
+    for ltype in theta.located_types:
+        where = ltype.location
+        if where == location or (
+            not isinstance(where, Node)
+            and location in (where.source, where.destination)
+        ):
+            doomed[ltype] = theta.profile(ltype)
+    return ResourceSet.from_profiles(doomed)
+
+
+def _degradation_loss(theta: ResourceSet, location: Node, factor) -> ResourceSet:
+    """The capacity a straggler node sheds: ``1 - factor`` of every
+    node-located resource's remaining profile (links keep their rate —
+    the node is slow, not partitioned)."""
+    lost = {}
+    for ltype in theta.located_types:
+        if ltype.location == location:
+            lost[ltype] = theta.profile(ltype).scale(1 - factor)
+    return ResourceSet.from_profiles(lost)
 
 
 def _relabel(

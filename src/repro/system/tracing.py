@@ -2,19 +2,32 @@
 
 Traces let tests and benchmarks assert not only final outcomes but also
 *how* the system evolved: per-slice consumption and expiry, the moments
-arrivals were admitted or rejected, and aggregate accounting that must
-balance (conservation check: offered = consumed + expired within the
-traced horizon for every located type).
+arrivals were admitted or rejected, aggregate accounting that must
+balance, and — under fault injection — every capacity loss and promise
+violation.
+
+The conservation identity the trace supports is::
+
+    offered = consumed + expired + revoked + degraded + crash-lost
+              (+ capacity still ahead of the clock, mid-run)
+
+:meth:`SimulationTrace.conservation_gaps` checks it both at run end (no
+remaining capacity inside the horizon) and mid-run (remaining capacity
+passed in), which is what lets the simulator use the auditor as a runtime
+invariant checker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.intervals.interval import Time
 from repro.logic.transitions import Transition
 from repro.resources.located_type import LocatedType
+
+#: Causes a capacity loss can carry (anything else is a modelling bug).
+LOSS_CAUSES = ("revocation", "crash", "degradation")
 
 
 @dataclass(frozen=True)
@@ -25,12 +38,39 @@ class TraceNote:
     message: str
 
 
+@dataclass(frozen=True)
+class ResourceLoss:
+    """Capacity that vanished outside the declared model: one located
+    type's quantity lost to one fault event."""
+
+    time: Time
+    cause: str  # one of LOSS_CAUSES
+    ltype: LocatedType
+    quantity: Time
+
+
+@dataclass(frozen=True)
+class PromiseViolation:
+    """An admitted computation whose assurance died: at ``time`` the
+    surviving resources can no longer cover its remaining demand within
+    its window."""
+
+    time: Time
+    label: str
+    cause: str  # the fault cause that triggered detection
+    deadline: Time
+    #: order-blind total demand still outstanding when detected
+    remaining_total: Time
+
+
 @dataclass
 class SimulationTrace:
     """Ordered record of every timed transition plus annotations."""
 
     transitions: List[Transition] = field(default_factory=list)
     notes: List[TraceNote] = field(default_factory=list)
+    losses: List[ResourceLoss] = field(default_factory=list)
+    violations: List[PromiseViolation] = field(default_factory=list)
 
     def record(self, transition: Transition) -> None:
         self.transitions.append(transition)
@@ -38,13 +78,34 @@ class SimulationTrace:
     def note(self, time: Time, message: str) -> None:
         self.notes.append(TraceNote(time, message))
 
+    def record_loss(
+        self, time: Time, cause: str, ltype: LocatedType, quantity: Time
+    ) -> None:
+        if cause not in LOSS_CAUSES:
+            raise ValueError(f"unknown loss cause {cause!r}")
+        self.losses.append(ResourceLoss(time, cause, ltype, quantity))
+
+    def record_violation(self, violation: PromiseViolation) -> None:
+        self.violations.append(violation)
+
     # ------------------------------------------------------------------
     @property
     def steps(self) -> int:
         return len(self.transitions)
 
+    @property
+    def violated_labels(self) -> Tuple[str, ...]:
+        """Labels of every promise-violation victim, in detection order."""
+        return tuple(v.label for v in self.violations)
+
+    def violations_of(self, label: str) -> Tuple[PromiseViolation, ...]:
+        return tuple(v for v in self.violations if v.label == label)
+
     def consumed_totals(self) -> Dict[LocatedType, Time]:
-        """Total consumption per located type across the trace."""
+        """Total consumption per located type across the trace.
+
+        Empty traces yield empty (zero-everywhere) totals, never an error.
+        """
         totals: Dict[LocatedType, Time] = {}
         for transition in self.transitions:
             for _, ltype, quantity in transition.label.consumed:
@@ -59,6 +120,26 @@ class SimulationTrace:
                 totals[ltype] = totals.get(ltype, 0) + quantity
         return totals
 
+    def lost_totals(self, cause: str | None = None) -> Dict[LocatedType, Time]:
+        """Total capacity lost to faults per located type.
+
+        ``cause`` restricts to one of :data:`LOSS_CAUSES`; by default all
+        losses aggregate (the `+ revoked + crash-lost` leg of the extended
+        conservation identity).
+        """
+        totals: Dict[LocatedType, Time] = {}
+        for loss in self.losses:
+            if cause is not None and loss.cause != cause:
+                continue
+            totals[loss.ltype] = totals.get(loss.ltype, 0) + loss.quantity
+        return totals
+
+    def revoked_totals(self) -> Dict[LocatedType, Time]:
+        return self.lost_totals("revocation")
+
+    def crash_lost_totals(self) -> Dict[LocatedType, Time]:
+        return self.lost_totals("crash")
+
     def consumption_by_actor(self) -> Dict[str, Dict[LocatedType, Time]]:
         """Who consumed what, over the whole trace."""
         totals: Dict[str, Dict[LocatedType, Time]] = {}
@@ -68,6 +149,49 @@ class SimulationTrace:
                 bucket[ltype] = bucket.get(ltype, 0) + quantity
         return totals
 
+    # ------------------------------------------------------------------
+    def conservation_gaps(
+        self,
+        offered: Mapping[LocatedType, Time],
+        *,
+        remaining: Optional[object] = None,  # ResourceSet, duck-typed
+        remaining_window: Optional[object] = None,  # Interval
+        include_losses: bool = True,
+        tolerance: float = 1e-6,
+    ) -> List[str]:
+        """Extended conservation check, one message per imbalance.
+
+        At run end: ``offered = consumed + expired (+ lost)`` per located
+        type.  Mid-run, pass the live state's ``theta`` as ``remaining``
+        and ``Interval(now, horizon)`` as ``remaining_window``: capacity
+        still ahead of the clock has neither been consumed nor expired,
+        and balances the identity at every instant.
+        """
+        consumed = self.consumed_totals()
+        expired = self.expired_totals()
+        lost = self.lost_totals() if include_losses else {}
+        gaps: List[str] = []
+        keys = set(offered) | set(consumed) | set(expired) | set(lost)
+        for ltype in sorted(keys, key=str):
+            accounted = (
+                consumed.get(ltype, 0)
+                + expired.get(ltype, 0)
+                + lost.get(ltype, 0)
+            )
+            if remaining is not None and remaining_window is not None:
+                accounted = accounted + remaining.quantity(
+                    ltype, remaining_window
+                )
+            total = offered.get(ltype, 0)
+            if abs(float(accounted) - float(total)) > tolerance:
+                gaps.append(
+                    f"conservation: {ltype} offered {total} but "
+                    f"accounted (consumed+expired+lost"
+                    f"{'+remaining' if remaining is not None else ''}) "
+                    f"= {accounted}"
+                )
+        return gaps
+
     def timeline(self) -> Iterator[Tuple[Time, str]]:
         """Merged, time-ordered view of notes and transition summaries."""
         entries: List[Tuple[Time, str]] = [
@@ -75,5 +199,13 @@ class SimulationTrace:
         ]
         entries.extend(
             (tr.source.t, str(tr.label)) for tr in self.transitions
+        )
+        entries.extend(
+            (loss.time, f"lost to {loss.cause}: {loss.quantity} {loss.ltype}")
+            for loss in self.losses
+        )
+        entries.extend(
+            (v.time, f"promise violated: {v.label!r} ({v.cause})")
+            for v in self.violations
         )
         return iter(sorted(entries, key=lambda item: item[0]))

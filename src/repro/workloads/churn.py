@@ -39,11 +39,19 @@ def churn_events(
     (CPU + outgoing links) for a uniform session length, pre-declared in
     the term intervals.
     """
+    if horizon <= 0:
+        raise WorkloadError(f"horizon must be positive, got {horizon!r}")
+    if session_rate <= 0:
+        raise WorkloadError(
+            f"session_rate must be positive, got {session_rate!r}"
+        )
     if min_session < 1 or max_session < min_session:
         raise WorkloadError("invalid session length bounds")
+    node_names = [node.name for node in topology.nodes]
+    if not node_names:
+        raise WorkloadError("topology has no nodes to churn")
     events: List[ResourceJoinEvent] = []
     t = 0.0
-    node_names = [node.name for node in topology.nodes]
     while True:
         t += rng.expovariate(session_rate)
         join_at = int(t)

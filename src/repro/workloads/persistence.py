@@ -26,12 +26,16 @@ from repro.serialization import (
     time_from_wire,
     time_to_wire,
 )
+from repro.resources.located_type import Node
 from repro.system.events import (
     ComputationArrivalEvent,
     ComputationLeaveEvent,
     Event,
+    NodeCrashEvent,
+    RateDegradationEvent,
     ResourceJoinEvent,
     ResourceRevocationEvent,
+    rate_degradation,
 )
 
 PathLike = Union[str, Path]
@@ -64,6 +68,19 @@ def event_to_wire(event: Event) -> dict:
             "time": time_to_wire(event.time),
             "label": event.label,
         }
+    if isinstance(event, NodeCrashEvent):
+        return {
+            "event": "node_crash",
+            "time": time_to_wire(event.time),
+            "location": event.location.name,
+        }
+    if isinstance(event, RateDegradationEvent):
+        return {
+            "event": "rate_degradation",
+            "time": time_to_wire(event.time),
+            "location": event.location.name,
+            "factor": time_to_wire(event.factor),
+        }
     raise SerializationError(f"unsupported event {event!r}")
 
 
@@ -86,6 +103,12 @@ def event_from_wire(data: dict) -> Event:
         )
     if kind == "computation_leave":
         return ComputationLeaveEvent(time=time, label=data.get("label", ""))
+    if kind == "node_crash":
+        return NodeCrashEvent(time=time, location=Node(data["location"]))
+    if kind == "rate_degradation":
+        return rate_degradation(
+            time, data["location"], time_from_wire(data["factor"])
+        )
     raise SerializationError(f"unknown event kind {kind!r}")
 
 

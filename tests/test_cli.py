@@ -55,6 +55,24 @@ class TestScenario:
         with pytest.raises(SystemExit):
             main(["scenario", "atlantis"])
 
+    def test_fault_flags_run_faulty_variant(self, capsys):
+        assert main([
+            "scenario", "volunteer", "--seed", "3", "--policy", "rota",
+            "--crash-rate", "0.05", "--revocation-rate", "0.4",
+            "--straggler-rate", "0.03", "--fault-seed", "7", "--recover",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "+faults@7" in out
+        assert "promise violations under faults:" in out
+        assert "recovered=" in out and "abandoned=" in out
+
+    def test_benign_fault_flags_change_nothing(self, capsys):
+        assert main(["scenario", "pipeline", "--seed", "3",
+                     "--policy", "rota", "--fault-seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "+faults@" not in out
+        assert "promise violations" not in out
+
 
 class TestCheck:
     def test_admitted(self, tmp_path, capsys):

@@ -100,6 +100,57 @@ class TestRevocationInSimulation:
         assert record.completed  # 8 by t=2, then 2/s: 12 more by t=8
 
 
+class TestRevocationEdgeCases:
+    def run(self, pool, *events, horizon=10):
+        sim = OpenSystemSimulator(
+            RotaAdmission(),
+            initial_resources=pool,
+            allocation_policy=ReservationPolicy(),
+        )
+        sim.schedule(*events)
+        return sim.run(horizon)
+
+    def test_revocation_exactly_at_slice_boundary(self, cpu1):
+        """A revocation landing exactly when a slice opens takes effect
+        before that slice, and the measured loss is exact."""
+        pool = ResourceSet.of(term(2, cpu1, 0, 10))
+        report = self.run(
+            pool,
+            ResourceRevocationEvent(
+                time=5, resources=ResourceSet.of(term(2, cpu1, 5, 10))
+            ),
+        )
+        assert report.trace.revoked_totals() == {cpu1: 10}  # 2/s over (5,10)
+        # consumed + expired + lost still balances exactly
+        assert report.trace.conservation_gaps(report.offered) == []
+
+    def test_revoking_already_departed_resource_is_noop(self, cpu1):
+        """Revoking capacity whose declared interval already ended loses
+        nothing and breaks nothing."""
+        pool = ResourceSet.of(term(2, cpu1, 0, 4))
+        report = self.run(
+            pool,
+            ResourceRevocationEvent(
+                time=6, resources=ResourceSet.of(term(2, cpu1, 0, 4))
+            ),
+        )
+        assert report.trace.losses == []
+        assert report.trace.conservation_gaps(report.offered) == []
+
+    def test_double_revocation_of_same_capacity(self, cpu1):
+        """Revoking the same (full) capacity twice: the second event finds
+        nothing left, so no phantom loss is recorded."""
+        pool = ResourceSet.of(term(4, cpu1, 0, 10))
+        revoked = ResourceSet.of(term(4, cpu1, 2, 10))
+        report = self.run(
+            pool,
+            ResourceRevocationEvent(time=2, resources=revoked),
+            ResourceRevocationEvent(time=3, resources=revoked),
+        )
+        assert report.trace.revoked_totals() == {cpu1: 32}  # 4/s over (2,10)
+        assert report.trace.conservation_gaps(report.offered) == []
+
+
 class TestBrokenPromisesGenerator:
     def test_rate_zero_produces_nothing(self, rng):
         topo = Topology.full_mesh(3)

@@ -11,6 +11,7 @@ from repro.resources import ResourceSet, term
 from repro.system import (
     ComputationArrivalEvent,
     OpenSystemSimulator,
+    PromiseViolation,
     ResourceJoinEvent,
     SimulationTrace,
     arrival,
@@ -75,3 +76,45 @@ class TestTrace:
         trace = SimulationTrace()
         assert trace.steps == 0
         assert trace.consumed_totals() == {}
+
+
+class TestTraceFaultErgonomics:
+    def test_empty_trace_tolerates_fault_queries(self):
+        trace = SimulationTrace()
+        assert trace.violated_labels == ()
+        assert trace.violations_of("ghost") == ()
+        assert trace.lost_totals() == {}
+        assert trace.revoked_totals() == {}
+        assert trace.crash_lost_totals() == {}
+        assert trace.conservation_gaps({}) == []
+        assert list(trace.timeline()) == []
+
+    def test_record_loss_validates_cause(self, cpu1):
+        trace = SimulationTrace()
+        with pytest.raises(ValueError):
+            trace.record_loss(3, "gremlins", cpu1, 5)
+
+    def test_lost_totals_filter_by_cause(self, cpu1):
+        trace = SimulationTrace()
+        trace.record_loss(2, "revocation", cpu1, 5)
+        trace.record_loss(4, "crash", cpu1, 3)
+        assert trace.revoked_totals() == {cpu1: 5}
+        assert trace.crash_lost_totals() == {cpu1: 3}
+        assert trace.lost_totals() == {cpu1: 8}
+
+    def test_violations_accessors(self):
+        trace = SimulationTrace()
+        violation = PromiseViolation(
+            time=4, label="job", cause="crash", deadline=10, remaining_total=6
+        )
+        trace.record_violation(violation)
+        assert trace.violated_labels == ("job",)
+        assert trace.violations_of("job") == (violation,)
+        assert trace.violations_of("other") == ()
+        assert any("promise violated" in msg for _, msg in trace.timeline())
+
+    def test_conservation_gaps_report_losses(self, cpu1):
+        trace = SimulationTrace()
+        trace.record_loss(2, "crash", cpu1, 8)
+        assert trace.conservation_gaps({cpu1: 8}) == []
+        assert trace.conservation_gaps({cpu1: 8}, include_losses=False)

@@ -60,6 +60,20 @@ class TestWireForm:
         with pytest.raises(SerializationError):
             event_from_wire({"event": "meteor", "time": 0})
 
+    def test_fault_events_roundtrip(self):
+        from fractions import Fraction
+
+        from repro.system import node_crash, rate_degradation
+
+        crash = node_crash(4, "l1")
+        clone = event_from_wire(event_to_wire(crash))
+        assert clone.time == 4 and clone.location == crash.location
+
+        straggler = rate_degradation(6, "l2", Fraction(1, 3))
+        clone = event_from_wire(event_to_wire(straggler))
+        assert clone.time == 6 and clone.location == straggler.location
+        assert clone.factor == Fraction(1, 3)  # rationals survive the wire
+
 
 class TestFileRoundTrip:
     def test_save_and_load(self, tmp_path, cpu1):

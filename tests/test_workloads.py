@@ -100,6 +100,29 @@ class TestChurn:
         with pytest.raises(WorkloadError):
             stable_base(topo, 10, fraction=0)
 
+    @pytest.mark.parametrize("horizon", [0, -5])
+    def test_horizon_validated(self, rng, horizon):
+        with pytest.raises(WorkloadError):
+            churn_events(rng, Topology.full_mesh(2), horizon=horizon)
+
+    @pytest.mark.parametrize("rate", [0, -0.3])
+    def test_session_rate_validated(self, rng, rate):
+        with pytest.raises(WorkloadError):
+            churn_events(
+                rng, Topology.full_mesh(2), horizon=10, session_rate=rate
+            )
+
+    @pytest.mark.parametrize(
+        "bounds", [{"min_session": 0}, {"min_session": 9, "max_session": 3}]
+    )
+    def test_session_bounds_validated(self, rng, bounds):
+        with pytest.raises(WorkloadError):
+            churn_events(rng, Topology.full_mesh(2), horizon=10, **bounds)
+
+    def test_empty_topology_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            churn_events(rng, Topology(), horizon=10)
+
 
 class TestScenarios:
     @pytest.mark.parametrize(
