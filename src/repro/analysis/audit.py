@@ -34,7 +34,7 @@ from typing import Dict, List
 
 from repro.intervals.interval import Interval, Time
 from repro.logic.state import SystemState
-from repro.resources.profile import EPSILON
+from repro.resources.profile import EPSILON, is_exact
 from repro.system.simulator import SimulationReport
 from repro.system.tracing import SimulationTrace
 
@@ -85,7 +85,26 @@ def midrun_conservation_violations(
 # ----------------------------------------------------------------------
 
 def _close(a, b) -> bool:
+    """Equality with tolerance only where a float entered the computation;
+    exact quantities (int/Fraction) must match exactly."""
+    if is_exact(a) and is_exact(b):
+        return a == b
     return abs(float(a) - float(b)) <= 1e-6
+
+
+def _positive(value) -> bool:
+    """Strictly-positive test with the same exactness policy: an exact
+    residue, however small, is genuinely nonzero."""
+    if is_exact(value):
+        return value > 0
+    return value > EPSILON
+
+
+def _exceeds(a, b) -> bool:
+    """``a > b`` beyond numerical dust."""
+    if is_exact(a) and is_exact(b):
+        return a > b
+    return float(a) > float(b) + 1e-6
 
 
 def _audit_conservation(report: SimulationReport, allow_revocation: bool):
@@ -105,28 +124,32 @@ def _audit_conservation(report: SimulationReport, allow_revocation: bool):
 
 
 def _audit_demand_accounting(report: SimulationReport):
+    # Sums stay in their native numeric types: converting exact int/
+    # Fraction quantities to float here would let the EPSILON comparisons
+    # below misclassify a genuinely positive exact residue as zero.
     per_actor = report.trace.consumption_by_actor()
-    consumed_by_record: Dict[str, float] = {}
+    consumed_by_record: Dict[str, Time] = {}
     for actor, amounts in per_actor.items():
         owner = actor.split("[")[0]
-        consumed_by_record[owner] = consumed_by_record.get(owner, 0) + float(
-            sum(amounts.values())
-        )
+        total: Time = 0
+        for amount in amounts.values():
+            total = total + amount
+        consumed_by_record[owner] = consumed_by_record.get(owner, 0) + total
     for record in report.records:
-        consumed = consumed_by_record.get(record.label, 0.0)
+        consumed = consumed_by_record.get(record.label, 0)
         if not record.admitted:
-            if consumed > EPSILON:
+            if _positive(consumed):
                 yield f"{record.label}: rejected but consumed {consumed}"
             continue
         if record.total_demands is None:
             continue
-        demand = float(record.total_demands.total)
+        demand = record.total_demands.total
         if record.completed and not _close(consumed, demand):
             yield (
                 f"{record.label}: completed with consumption {consumed} "
                 f"!= demand {demand}"
             )
-        if not record.completed and consumed > demand + 1e-6:
+        if not record.completed and _exceeds(consumed, demand):
             yield (
                 f"{record.label}: unfinished yet consumed {consumed} "
                 f"> demand {demand}"

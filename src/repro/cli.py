@@ -47,6 +47,30 @@ SCENARIOS = {
 }
 
 
+def _unit_rate(text: str) -> float:
+    """Argparse type for probabilities/rates constrained to ``[0, 1]``."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be in [0, 1], got {text!r}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type for seeds and counters that must be ``>= 0``."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -66,19 +90,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "fault injection", "run the scenario's faulty variant (repro.faults)"
     )
     faults.add_argument(
-        "--crash-rate", type=float, default=0.0,
+        "--crash-rate", type=_unit_rate, default=0.0,
         help="Poisson rate of unannounced node crashes per time unit",
     )
     faults.add_argument(
-        "--revocation-rate", type=float, default=0.0,
+        "--revocation-rate", type=_unit_rate, default=0.0,
         help="per-session probability of early capacity revocation",
     )
     faults.add_argument(
-        "--straggler-rate", type=float, default=0.0,
+        "--straggler-rate", type=_unit_rate, default=0.0,
         help="Poisson rate of rate-degradation (straggler) faults",
     )
     faults.add_argument(
-        "--fault-seed", type=int, default=0,
+        "--fault-seed", type=_nonnegative_int, default=0,
         help="seed of the deterministic fault plan",
     )
     faults.add_argument(

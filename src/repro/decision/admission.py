@@ -66,13 +66,18 @@ class AdmissionController:
         *,
         now: Time = 0,
         align: Time | None = None,
+        slack_check_interval: int = 0,
     ) -> None:
+        if slack_check_interval < 0:
+            raise ValueError(
+                f"slack_check_interval must be >= 0, got {slack_check_interval!r}"
+            )
         self._available = available or ResourceSet.empty()
         self._committed = ResourceSet.empty()
         # Cached ``available - committed``, maintained incrementally: the
         # one-more-admission query is the hot path and recomputing the
         # relative complement per call is the dominant cost (measured in
-        # bench_theorem4_admission.py's slack-cache ablation).
+        # bench_profile_ops.py's slack-cache ablation).
         self._slack = self._available
         self._schedules: Dict[str, ConcurrentSchedule] = {}
         self._now = now
@@ -80,6 +85,11 @@ class AdmissionController:
         #: the executor's ``Delta t`` so committed schedules survive
         #: slice-atomic execution (see ``find_schedule``).
         self._align = align
+        #: Invalidation check: every N slack mutations, realign the
+        #: incremental cache with the reference ``available - committed``
+        #: (0 = trust the algebraic updates; see ``_slack_mutated``).
+        self._slack_check_interval = slack_check_interval
+        self._mutations_since_check = 0
 
     # ------------------------------------------------------------------
     # State inspection
@@ -107,6 +117,43 @@ class AdmissionController:
         """
         return self._slack
 
+    def reference_slack(self) -> ResourceSet:
+        """The slack recomputed from scratch: ``available - committed``.
+
+        This is the oracle the incremental cache is pinned to.  The exact
+        relative complement applies whenever it is defined; after
+        unannounced revocations the committed path may exceed what
+        survives, and the clamped (saturating) difference is the sound
+        reading — capacity that no longer exists is not free.
+        """
+        try:
+            return self._available - self._committed
+        except UndefinedOperationError:
+            return self._available.saturating_minus(self._committed)
+
+    def verify_slack(self) -> bool:
+        """Whether the incremental slack equals :meth:`reference_slack`.
+
+        Fault-free runs maintain this invariant exactly (property-tested).
+        Under revocation the incremental view can drift optimistic —
+        capacity joining after a loss re-enters the cached slack even
+        where still-committed schedules need it — which is what the
+        periodic invalidation check repairs.
+        """
+        return self._slack == self.reference_slack()
+
+    def _slack_mutated(self) -> None:
+        """Count a slack mutation; every ``slack_check_interval`` of them,
+        rebuild the cache from the reference when it has drifted."""
+        if not self._slack_check_interval:
+            return
+        self._mutations_since_check += 1
+        if self._mutations_since_check >= self._slack_check_interval:
+            self._mutations_since_check = 0
+            reference = self.reference_slack()
+            if self._slack != reference:
+                self._slack = reference
+
     @property
     def admitted_labels(self) -> tuple[str, ...]:
         return tuple(self._schedules)
@@ -127,6 +174,7 @@ class AdmissionController:
             joining = ResourceSet(joining)
         self._available = self._available | joining
         self._slack = self._slack | joining
+        self._slack_mutated()
 
     @property
     def align(self) -> Time | None:
@@ -148,6 +196,7 @@ class AdmissionController:
             lost = ResourceSet(lost)
         self._available = self._available.saturating_minus(lost)
         self._slack = self._slack.saturating_minus(lost)
+        self._slack_mutated()
 
     def forfeit(self, label: str) -> None:
         """Remove an admitted computation whose promise was violated.
@@ -169,6 +218,7 @@ class AdmissionController:
             # below one component's claim; clamp instead of failing.
             self._committed = self._committed.saturating_minus(consumption)
         self._slack = self._available.saturating_minus(self._committed)
+        self._slack_mutated()
 
     def reserve(self, resources: ResourceSet) -> None:
         """Mark ``resources`` as committed without a schedule — used by
@@ -180,11 +230,13 @@ class AdmissionController:
             )
         self._committed = self._committed | resources
         self._slack = self._slack - resources
+        self._slack_mutated()
 
     def release(self, resources: ResourceSet) -> None:
         """Return a previously reserved set to the slack pool."""
         self._committed = self._committed - resources
         self._slack = self._slack | resources
+        self._slack_mutated()
 
     def advance_to(self, t: Time) -> None:
         """Move the clock forward; past availability and consumption expire
@@ -241,6 +293,7 @@ class AdmissionController:
             consumption = decision.schedule.consumption()
             self._committed = self._committed | consumption
             self._slack = self._slack - consumption
+            self._slack_mutated()
             self._schedules[_unique_label(decision.label, self._schedules)] = (
                 decision.schedule
             )
@@ -262,6 +315,7 @@ class AdmissionController:
         consumption = schedule.consumption()
         self._committed = self._committed - consumption
         self._slack = self._slack | consumption
+        self._slack_mutated()
         del self._schedules[label]
 
 

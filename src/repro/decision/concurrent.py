@@ -10,8 +10,10 @@ components one at a time, subtracting each admitted schedule's claimed
 consumption from availability before trying the next.  The admission
 *order* matters; the default heuristic orders components by deadline then
 by laxity (how tight the component is against availability), and
-``exhaustive=True`` tries every permutation — exact, but factorial, so
-only sensible for small actor counts.
+``exhaustive=True`` searches every admission order depth-first with
+shared prefixes (each ordered prefix is scheduled once, and a component
+failing against a prefix prunes every order extending it) — exact, but
+worst-case factorial, so only sensible for small actor counts.
 
 One-at-a-time admission is sound (an admitted set is executable: the
 claimed consumptions are disjoint by construction) but not complete —
@@ -21,7 +23,6 @@ completeness gap is measured in ``benchmarks/bench_theorem4_admission.py``.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, Sequence
 
 from repro.computation.requirements import ComplexRequirement, ConcurrentRequirement
@@ -47,6 +48,39 @@ def _try_order(
         schedules.append(schedule)
         remaining = remaining - schedule.consumption()
     return ConcurrentSchedule(tuple(schedules))
+
+
+def _search_orders(
+    remaining: ResourceSet,
+    components: Sequence[ComplexRequirement],
+    placed: list[Schedule],
+    align=None,
+) -> Optional[ConcurrentSchedule]:
+    """Depth-first search over admission orders with shared prefixes.
+
+    Explores the same permutation tree as trying every order outright, in
+    the same lexicographic order (so the first witness found is identical)
+    — but each ordered prefix is scheduled once instead of once per
+    permutation, and a component that fails against a prefix prunes every
+    permutation extending it.
+    """
+    if not components:
+        return ConcurrentSchedule(tuple(placed))
+    for index, component in enumerate(components):
+        schedule = find_schedule(remaining, component, align=align)
+        if schedule is None:
+            continue
+        placed.append(schedule)
+        found = _search_orders(
+            remaining - schedule.consumption(),
+            components[:index] + components[index + 1 :],
+            placed,
+            align,
+        )
+        if found is not None:
+            return found
+        placed.pop()
+    return None
 
 
 def _laxity_key(available: ResourceSet, component: ComplexRequirement):
@@ -77,11 +111,7 @@ def find_concurrent_schedule(
                 f"exhaustive admission is limited to "
                 f"{MAX_EXHAUSTIVE_COMPONENTS} components, got {len(components)}"
             )
-        for order in itertools.permutations(components):
-            schedule = _try_order(available, order, align)
-            if schedule is not None:
-                return schedule
-        return None
+        return _search_orders(available, tuple(components), [], align)
     components.sort(key=lambda c: _laxity_key(available, c))
     return _try_order(available, components, align)
 

@@ -65,11 +65,13 @@ class Schedule:
         schedule is committed (and what Theorem 4 reasoning treats as
         *not* expiring).
         """
-        profiles: Dict[LocatedType, RateProfile] = {}
+        per_type: Dict[LocatedType, list[RateProfile]] = {}
         for assignment in self.assignments:
             for ltype, profile in assignment.consumption.items():
-                profiles[ltype] = profiles.get(ltype, RateProfile.zero()) + profile
-        return ResourceSet.from_profiles(profiles)
+                per_type.setdefault(ltype, []).append(profile)
+        return ResourceSet.from_profiles(
+            {ltype: RateProfile.sum(group) for ltype, group in per_type.items()}
+        )
 
     def __repr__(self) -> str:
         return (
@@ -89,10 +91,14 @@ class ConcurrentSchedule:
         return max((s.finish_time for s in self.schedules), default=0)
 
     def consumption(self) -> ResourceSet:
-        total = ResourceSet.empty()
+        per_type: Dict[LocatedType, list[RateProfile]] = {}
         for schedule in self.schedules:
-            total = total | schedule.consumption()
-        return total
+            for assignment in schedule.assignments:
+                for ltype, profile in assignment.consumption.items():
+                    per_type.setdefault(ltype, []).append(profile)
+        return ResourceSet.from_profiles(
+            {ltype: RateProfile.sum(group) for ltype, group in per_type.items()}
+        )
 
     def __iter__(self):
         return iter(self.schedules)

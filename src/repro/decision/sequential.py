@@ -33,19 +33,35 @@ from repro.resources.profile import RateProfile
 from repro.resources.resource_set import ResourceSet
 
 
+def _phase_plan(
+    available: ResourceSet, demands: Demands, start: Time
+) -> Optional[Dict[LocatedType, Time]]:
+    """Per-type earliest finish times of one phase started at ``start``.
+
+    One ``earliest_accumulation`` call per located type, shared by the
+    feasibility check and the consumption claim (the split helpers below
+    each recomputed it).  ``None`` when some amount can never be
+    accumulated.
+    """
+    finishes: Dict[LocatedType, Time] = {}
+    for ltype, quantity in demands.items():
+        t = available.profile(ltype).earliest_accumulation(start, quantity)
+        if t is None:
+            return None
+        finishes[ltype] = t
+    return finishes
+
+
 def earliest_phase_finish(
     available: ResourceSet, demands: Demands, start: Time
 ) -> Optional[Time]:
     """Earliest time by which every amount in ``demands`` can be
     accumulated when consumption starts at ``start``; ``None`` if some
     amount can never be accumulated."""
-    finish = start
-    for ltype, quantity in demands.items():
-        t = available.profile(ltype).earliest_accumulation(start, quantity)
-        if t is None:
-            return None
-        finish = max(finish, t)
-    return finish
+    finishes = _phase_plan(available, demands, start)
+    if finishes is None:
+        return None
+    return max(finishes.values(), default=start)
 
 
 def _phase_consumption(
@@ -54,14 +70,13 @@ def _phase_consumption(
     """The earliest-finish consumption of one phase: each type is claimed
     at the full available rate from ``start`` until exactly its amount has
     been accumulated."""
-    claimed: Dict[LocatedType, RateProfile] = {}
-    for ltype, quantity in demands.items():
-        profile = available.profile(ltype)
-        finish = profile.earliest_accumulation(start, quantity)
-        if finish is None:  # pragma: no cover - caller checks feasibility first
-            raise AssertionError("consumption requested for infeasible phase")
-        claimed[ltype] = profile.clamp(Interval(start, finish))
-    return claimed
+    finishes = _phase_plan(available, demands, start)
+    if finishes is None:  # pragma: no cover - caller checks feasibility first
+        raise AssertionError("consumption requested for infeasible phase")
+    return {
+        ltype: available.profile(ltype).clamp(Interval(start, finish))
+        for ltype, finish in finishes.items()
+    }
 
 
 def _align_up(t: Time, align: Time) -> Time:
@@ -97,14 +112,21 @@ def find_schedule(
     deadline = requirement.deadline
     assignments: list[PhaseAssignment] = []
     for index, demands in enumerate(requirement.phases):
-        finish = earliest_phase_finish(available, demands, t)
-        if finish is None:
+        finishes = _phase_plan(available, demands, t)
+        if finishes is None:
             return None
+        finish = max(finishes.values(), default=t)
         if align is not None:
             finish = _align_up(finish, align)
         if finish > deadline:
             return None
-        consumption = _phase_consumption(available, demands, t)
+        # The claim reuses the per-type finish times computed above: each
+        # type is clamped to its own accumulation window (alignment moves
+        # only the phase boundary, not the claimed consumption).
+        consumption = {
+            ltype: available.profile(ltype).clamp(Interval(t, type_finish))
+            for ltype, type_finish in finishes.items()
+        }
         assignments.append(
             PhaseAssignment(index, Interval(t, max(finish, t)), consumption)
         )

@@ -101,10 +101,17 @@ class ActorProgress:
         left = remaining.saturating_sub(consumed)
         # Snap float dust: residual demand below tolerance counts as
         # satisfied, or a 1e-14 remainder would hold a phase open a whole
-        # extra slice (exact int/Fraction arithmetic is unaffected).
-        from repro.resources.profile import EPSILON
+        # extra slice.  The tolerance applies only once a float has
+        # entered the computation — an exact int/Fraction residue, however
+        # small, is genuinely outstanding demand and must keep the phase
+        # open (Demands drops exact zeros on construction).
+        from repro.resources.profile import EPSILON, is_exact
 
-        dusty = [lt for lt, q in left.items() if float(q) < EPSILON]
+        dusty = [
+            lt
+            for lt, q in left.items()
+            if not is_exact(q) and float(q) < EPSILON
+        ]
         if dusty:
             left = Demands({lt: q for lt, q in left.items() if lt not in dusty})
         progress = ActorProgress(self.requirement, self.phase, left)

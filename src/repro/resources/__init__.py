@@ -15,7 +15,12 @@ from repro.resources.located_type import (
     memory,
     network,
 )
-from repro.resources.profile import EPSILON, RateProfile, profile_from_points
+from repro.resources.profile import (
+    EPSILON,
+    RateProfile,
+    is_exact,
+    profile_from_points,
+)
 from repro.resources.resource_set import ResourceSet, resources
 from repro.resources.term import ResourceTerm, term
 
@@ -30,6 +35,7 @@ __all__ = [
     "network",
     "EPSILON",
     "RateProfile",
+    "is_exact",
     "profile_from_points",
     "ResourceSet",
     "resources",

@@ -22,12 +22,25 @@ of the profile is 0 before the first breakpoint; each breakpoint's rate
 holds from its time up to the next breakpoint's time; the final
 breakpoint's rate holds forever (so a profile with finite support ends
 with a rate-0 breakpoint).
+
+Every decision procedure (Theorem 4 admission, schedule search, the
+Figure 1 model checker) bottoms out here, so the point and window queries
+are the system's hot path.  They run against a lazily-built index — the
+breakpoint times plus a cumulative-integral array — giving ``O(log n)``
+``rate_at``/``integral`` lookups and ``O(n + m)`` two-pointer merges for
+the binary algebra, instead of the naive linear/quadratic scans.  The
+naive implementations are retained below as ``_reference_*`` oracles;
+``tests/test_profile_fastpath.py`` asserts exact agreement over
+exhaustive small-integer enumerations, and ``benchmarks/
+bench_profile_ops.py`` tracks the speedup.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+from bisect import bisect_left, bisect_right
+from numbers import Rational
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import InvalidTermError, UndefinedOperationError
@@ -37,6 +50,16 @@ from repro.intervals.intervalset import IntervalSet
 #: Tolerance used when float arithmetic is involved.  Exact numeric types
 #: (int, Fraction) never need it.
 EPSILON = 1e-9
+
+
+def is_exact(value: object) -> bool:
+    """Whether ``value`` is an exact numeric type (``int``/``Fraction``).
+
+    Exact quantities compare exactly: applying the float ``EPSILON`` to
+    them can misclassify a genuinely positive residue as zero.  Tolerance
+    belongs only where a float has entered the computation.
+    """
+    return isinstance(value, Rational)
 
 
 def exact_div(numerator: Time, denominator: Time) -> Time:
@@ -80,7 +103,7 @@ def _normalise(points: Iterable[Tuple[Time, Time]]) -> tuple[Tuple[Time, Time], 
 class RateProfile:
     """An immutable, piecewise-constant, non-negative function of time."""
 
-    __slots__ = ("_points",)
+    __slots__ = ("_points", "_times", "_cum", "_exact")
 
     def __init__(self, points: Iterable[Tuple[Time, Time]] = ()) -> None:
         pts = _normalise(points)
@@ -90,6 +113,31 @@ class RateProfile:
             if rate < 0:
                 raise InvalidTermError(f"profile rate must be >= 0, got {rate!r} at t={time!r}")
         self._points = pts
+        self._times: Optional[list] = None
+        self._cum: Optional[list] = None
+        self._exact: Optional[bool] = None
+
+    def _ensure_index(self) -> None:
+        """Build the lookup index on first use: breakpoint times for
+        bisection, the cumulative integral up to each breakpoint, and
+        whether every coordinate is exact (so cumulative differences are
+        drift-free)."""
+        if self._times is not None:
+            return
+        pts = self._points
+        times = [t for t, _ in pts]
+        cum: list = [0] * len(pts)
+        exact = True
+        for i in range(1, len(pts)):
+            t_prev, r_prev = pts[i - 1]
+            cum[i] = cum[i - 1] + r_prev * (times[i] - t_prev)
+        for t, r in pts:
+            if not (is_exact(t) and is_exact(r)):
+                exact = False
+                break
+        self._times = times
+        self._cum = cum
+        self._exact = exact
 
     # ------------------------------------------------------------------
     # Constructors
@@ -105,11 +153,79 @@ class RateProfile:
 
     @classmethod
     def from_segments(cls, segments: Iterable[Tuple[Interval, Time]]) -> "RateProfile":
-        """Sum of constant segments (overlaps add, as in simplification)."""
-        profile = _ZERO
+        """Sum of constant segments (overlaps add, as in simplification).
+
+        Equivalent to folding :meth:`constant` profiles through ``+`` but
+        built by a single breakpoint sweep, so aggregating ``n`` segments
+        is ``O(n log n)`` instead of quadratic repeated addition.
+        """
+        live: list[Tuple[Time, Time, Time]] = []  # (start, end, rate)
+        exact = True
         for window, rate in segments:
-            profile = profile + cls.constant(rate, window)
-        return profile
+            if window.is_empty or rate == 0:
+                continue
+            if rate < 0 or (isinstance(rate, float) and math.isnan(rate)):
+                # Match the validation the constant()-fold performed.
+                return _reference_from_segments([(window, rate)])
+            if not (is_exact(rate) and is_exact(window.start) and is_exact(window.end)):
+                exact = False
+            live.append((window.start, window.end, rate))
+        if not live:
+            return _ZERO
+        if not exact:
+            # Float rates: per-breakpoint left-fold keeps bit-identical
+            # results with the repeated-addition definition.
+            return cls.sum(
+                cls.constant(rate, Interval(start, end)) for start, end, rate in live
+            )
+        events: list[Tuple[Time, Time]] = []
+        for start, end, rate in live:
+            events.append((start, rate))
+            if not math.isinf(end):
+                events.append((end, -rate))
+        events.sort(key=lambda e: e[0])
+        points: list[Tuple[Time, Time]] = []
+        level: Time = 0
+        index, count = 0, len(events)
+        while index < count:
+            t = events[index][0]
+            while index < count and events[index][0] == t:
+                level = level + events[index][1]
+                index += 1
+            points.append((t, level))
+        return cls(points)
+
+    @classmethod
+    def sum(cls, profiles: Iterable["RateProfile"]) -> "RateProfile":
+        """Pointwise sum of many profiles via one k-way breakpoint merge.
+
+        Equivalent to folding through ``+`` (the per-breakpoint rate sums
+        keep the fold's left-to-right association, so float results do not
+        drift from the pairwise definition) but visits every breakpoint
+        once instead of once per partial sum.
+        """
+        live = [p for p in profiles if not p.is_zero]
+        if not live:
+            return _ZERO
+        if len(live) == 1:
+            return live[0]
+        point_lists = [p._points for p in live]
+        times = sorted({t for pts in point_lists for t, _ in pts})
+        rates: list[Time] = [0] * len(live)
+        cursors = [0] * len(live)
+        points: list[Tuple[Time, Time]] = []
+        for t in times:
+            for k, pts in enumerate(point_lists):
+                i = cursors[k]
+                while i < len(pts) and pts[i][0] <= t:
+                    rates[k] = pts[i][1]
+                    i += 1
+                cursors[k] = i
+            level: Time = 0
+            for rate in rates:
+                level = level + rate
+            points.append((t, level))
+        return cls(points)
 
     @classmethod
     def zero(cls) -> "RateProfile":
@@ -128,13 +244,12 @@ class RateProfile:
         return not self._points
 
     def rate_at(self, t: Time) -> Time:
-        """The rate in effect at time ``t``."""
-        rate: Time = 0
-        for time, value in self._points:
-            if time > t:
-                break
-            rate = value
-        return rate
+        """The rate in effect at time ``t`` (``O(log n)``)."""
+        if not self._points:
+            return 0
+        self._ensure_index()
+        i = bisect_right(self._times, t) - 1
+        return self._points[i][1] if i >= 0 else 0
 
     def segments(self) -> Iterator[Tuple[Interval, Time]]:
         """Maximal constant-rate segments with positive rate.
@@ -165,48 +280,96 @@ class RateProfile:
         """Maximum rate anywhere."""
         return max((rate for _, rate in self._points), default=0)
 
+    def _cumulative(self, t: Time) -> Time:
+        """Integral from before the first breakpoint up to ``t`` (exact
+        profiles only; callers guard)."""
+        times, cum = self._times, self._cum
+        i = bisect_right(times, t) - 1
+        if i < 0:
+            return 0
+        rate = self._points[i][1]
+        if rate == 0 or times[i] == t:
+            return cum[i]
+        return cum[i] + rate * (t - times[i])
+
     def integral(self, window: Interval) -> Time:
         """Total quantity available during ``window``:
-        the paper's ``r x tau`` generalised to step functions."""
+        the paper's ``r x tau`` generalised to step functions.
+
+        Exact profiles answer in ``O(log n)`` from the cumulative-integral
+        array; float profiles fall back to a bisected segment scan that
+        reproduces the reference summation order bit-for-bit.
+        """
         if window.is_empty or self.is_zero:
             return 0
+        self._ensure_index()
+        start, end = window.start, window.end
+        if self._exact and is_exact(start) and is_exact(end):
+            return self._cumulative(end) - self._cumulative(start)
+        times = self._times
+        pts = self._points
+        lo = bisect_right(times, start) - 1
+        if lo < 0:
+            lo = 0
+        hi = bisect_left(times, end)
         total: Time = 0
-        for segment, rate in self.segments():
-            common = segment.intersection(window)
-            if not common.is_empty:
-                total += rate * common.duration
+        for i in range(lo, hi):
+            rate = pts[i][1]
+            if rate == 0:
+                continue
+            seg_start = times[i]
+            seg_end = times[i + 1] if i + 1 < len(times) else math.inf
+            s = seg_start if seg_start > start else start
+            e = seg_end if seg_end < end else end
+            if e > s:
+                total += rate * (e - s)
         return total
 
     def min_rate(self, window: Interval) -> Time:
         """Minimum rate over a non-empty window (0 if any gap)."""
         if window.is_empty:
             raise UndefinedOperationError("min_rate over an empty window")
-        lowest: Optional[Time] = None
-        covered: Time = 0
-        for segment, rate in self.segments():
-            common = segment.intersection(window)
-            if common.is_empty:
-                continue
-            covered += common.duration
-            lowest = rate if lowest is None else min(lowest, rate)
-        if lowest is None or covered < window.duration:
+        if self.is_zero:
             return 0
-        return lowest
+        self._ensure_index()
+        times = self._times
+        start, end = window.start, window.end
+        if start < times[0]:
+            return 0
+        lo = bisect_right(times, start) - 1
+        hi = bisect_left(times, end)
+        return min(self._points[i][1] for i in range(lo, hi))
 
     def earliest_accumulation(self, start: Time, quantity: Time) -> Optional[Time]:
         """The earliest ``t >= start`` with ``integral((start, t)) >= quantity``.
 
         Returns ``None`` when the quantity can never be accumulated.  This
         is the primitive behind the greedy breakpoint search of Theorem 2.
+        Bisects to the first segment past ``start`` and walks from there,
+        so the cost is ``O(log n + k)`` for ``k`` segments actually drawn
+        on (the reference walked every segment from the origin).
         """
         if quantity <= 0:
             return start
+        if self.is_zero:
+            return None
+        self._ensure_index()
+        times = self._times
+        pts = self._points
         remaining = quantity
-        for segment, rate in self.segments():
-            if segment.end <= start:
+        lo = bisect_right(times, start) - 1
+        if lo < 0:
+            lo = 0
+        for i in range(lo, len(pts)):
+            rate = pts[i][1]
+            if rate == 0:
                 continue
-            effective_start = max(start, segment.start)
-            capacity = rate * (segment.end - effective_start)
+            seg_start = times[i]
+            seg_end = times[i + 1] if i + 1 < len(times) else math.inf
+            if seg_end <= start:
+                continue
+            effective_start = max(start, seg_start)
+            capacity = rate * (seg_end - effective_start)
             if capacity >= remaining:
                 return effective_start + exact_div(remaining, rate)
             remaining -= capacity
@@ -221,12 +384,21 @@ class RateProfile:
         """
         if quantity <= 0:
             return end
+        if self.is_zero:
+            return None
+        self._ensure_index()
+        times = self._times
+        pts = self._points
         remaining = quantity
-        for segment, rate in reversed(list(self.segments())):
-            if segment.start >= end:
+        hi = bisect_left(times, end)  # segments hi.. start at or after end
+        for i in range(hi - 1, -1, -1):
+            rate = pts[i][1]
+            if rate == 0:
                 continue
-            effective_end = min(end, segment.end)
-            capacity = rate * (effective_end - segment.start)
+            seg_start = times[i]
+            seg_end = times[i + 1] if i + 1 < len(times) else math.inf
+            effective_end = min(end, seg_end)
+            capacity = rate * (effective_end - seg_start)
             if capacity >= remaining:
                 return effective_end - exact_div(remaining, rate)
             remaining -= capacity
@@ -235,39 +407,59 @@ class RateProfile:
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
-    def _merged_breaktimes(self, other: "RateProfile") -> list[Time]:
-        times = sorted({t for t, _ in self._points} | {t for t, _ in other._points})
-        return times
+    def _merged_rates(
+        self, other: "RateProfile"
+    ) -> Iterator[Tuple[Time, Time, Time]]:
+        """Two-pointer merge over both breakpoint lists: yields
+        ``(time, self_rate, other_rate)`` at every breakpoint of either
+        profile, in time order — ``O(n + m)`` where the naive
+        rate_at-per-breaktime evaluation was quadratic."""
+        a, b = self._points, other._points
+        i = j = 0
+        ra: Time = 0
+        rb: Time = 0
+        while i < len(a) or j < len(b):
+            if j >= len(b) or (i < len(a) and a[i][0] <= b[j][0]):
+                t = a[i][0]
+            else:
+                t = b[j][0]
+            if i < len(a) and a[i][0] == t:
+                ra = a[i][1]
+                i += 1
+            if j < len(b) and b[j][0] == t:
+                rb = b[j][1]
+                j += 1
+            yield t, ra, rb
 
     def __add__(self, other: "RateProfile") -> "RateProfile":
         if self.is_zero:
             return other
         if other.is_zero:
             return self
-        points = [
-            (t, self.rate_at(t) + other.rate_at(t))
-            for t in self._merged_breaktimes(other)
-        ]
-        return RateProfile(points)
+        return RateProfile(
+            (t, ra + rb) for t, ra, rb in self._merged_rates(other)
+        )
 
     def subtract(self, other: "RateProfile", *, tolerance: float = EPSILON) -> "RateProfile":
         """Pointwise subtraction; raises when the result would go negative.
 
         Mirrors the paper's rule that resource terms cannot be negative:
-        the relative complement is a *partial* operation.
+        the relative complement is a *partial* operation.  ``tolerance``
+        absorbs float dust only: an exact negative value, however small,
+        is a genuine domain violation and always raises.
         """
         if other.is_zero:
             return self
         points: list[Tuple[Time, Time]] = []
-        for t in self._merged_breaktimes(other):
-            value = self.rate_at(t) - other.rate_at(t)
+        for t, ra, rb in self._merged_rates(other):
+            value = ra - rb
             if value < 0:
-                if -value <= tolerance:
+                if not is_exact(value) and -value <= tolerance:
                     value = 0
                 else:
                     raise UndefinedOperationError(
                         f"subtraction would make the rate negative at t={t!r} "
-                        f"({self.rate_at(t)!r} - {other.rate_at(t)!r})"
+                        f"({ra!r} - {rb!r})"
                     )
             points.append((t, value))
         return RateProfile(points)
@@ -285,11 +477,9 @@ class RateProfile:
         """
         if other.is_zero:
             return self
-        points = [
-            (t, max(0, self.rate_at(t) - other.rate_at(t)))
-            for t in self._merged_breaktimes(other)
-        ]
-        return RateProfile(points)
+        return RateProfile(
+            (t, max(0, ra - rb)) for t, ra, rb in self._merged_rates(other)
+        )
 
     def scale(self, factor: Time) -> "RateProfile":
         """The profile with every rate multiplied by ``factor >= 0``."""
@@ -304,10 +494,12 @@ class RateProfile:
         ``U_s^d`` applied to one located type."""
         if window.is_empty or self.is_zero:
             return _ZERO
+        self._ensure_index()
+        times = self._times
         points: list[Tuple[Time, Time]] = [(window.start, self.rate_at(window.start))]
-        for t, rate in self._points:
-            if window.start < t < window.end:
-                points.append((t, rate))
+        lo = bisect_right(times, window.start)
+        hi = bisect_left(times, window.end)
+        points.extend(self._points[lo:hi])
         if not math.isinf(window.end):
             points.append((window.end, 0))
         return RateProfile(points)
@@ -320,18 +512,16 @@ class RateProfile:
         """Pointwise minimum with another profile."""
         if self.is_zero or ceiling.is_zero:
             return _ZERO
-        points = [
-            (t, min(self.rate_at(t), ceiling.rate_at(t)))
-            for t in self._merged_breaktimes(ceiling)
-        ]
-        return RateProfile(points)
+        return RateProfile(
+            (t, min(ra, rb)) for t, ra, rb in self._merged_rates(ceiling)
+        )
 
     def dominates(self, other: "RateProfile") -> bool:
         """Pointwise ``self >= other`` everywhere."""
         if other.is_zero:
             return True
-        for t in self._merged_breaktimes(other):
-            if self.rate_at(t) < other.rate_at(t):
+        for _, ra, rb in self._merged_rates(other):
+            if ra < rb:
                 return False
         return True
 
@@ -360,3 +550,116 @@ _ZERO = RateProfile(())
 def profile_from_points(points: Sequence[Tuple[Time, Time]]) -> RateProfile:
     """Public helper: build a profile from raw breakpoints."""
     return RateProfile(points)
+
+
+# ----------------------------------------------------------------------
+# Reference oracles.
+#
+# The pre-optimisation implementations, retained verbatim so differential
+# tests and benchmarks can pin the fast paths to them: over exhaustive
+# small-integer enumerations the fast result must equal the reference
+# result *exactly* (not approximately), so the tier-1 theorem benchmarks
+# cannot drift.
+# ----------------------------------------------------------------------
+
+def _reference_rate_at(profile: RateProfile, t: Time) -> Time:
+    """Linear-scan ``rate_at``."""
+    rate: Time = 0
+    for time, value in profile.breakpoints:
+        if time > t:
+            break
+        rate = value
+    return rate
+
+
+def _reference_integral(profile: RateProfile, window: Interval) -> Time:
+    """Full segment-scan ``integral``."""
+    if window.is_empty or profile.is_zero:
+        return 0
+    total: Time = 0
+    for segment, rate in profile.segments():
+        common = segment.intersection(window)
+        if not common.is_empty:
+            total += rate * common.duration
+    return total
+
+
+def _reference_min_rate(profile: RateProfile, window: Interval) -> Time:
+    """Full segment-scan ``min_rate`` with explicit coverage accounting."""
+    if window.is_empty:
+        raise UndefinedOperationError("min_rate over an empty window")
+    lowest: Optional[Time] = None
+    covered: Time = 0
+    for segment, rate in profile.segments():
+        common = segment.intersection(window)
+        if common.is_empty:
+            continue
+        covered += common.duration
+        lowest = rate if lowest is None else min(lowest, rate)
+    if lowest is None or covered < window.duration:
+        return 0
+    return lowest
+
+
+def _reference_earliest_accumulation(
+    profile: RateProfile, start: Time, quantity: Time
+) -> Optional[Time]:
+    """Origin-anchored segment walk for the earliest accumulation time."""
+    if quantity <= 0:
+        return start
+    remaining = quantity
+    for segment, rate in profile.segments():
+        if segment.end <= start:
+            continue
+        effective_start = max(start, segment.start)
+        capacity = rate * (segment.end - effective_start)
+        if capacity >= remaining:
+            return effective_start + exact_div(remaining, rate)
+        remaining -= capacity
+    return None
+
+
+def _reference_add(left: RateProfile, right: RateProfile) -> RateProfile:
+    """Pointwise addition by rate_at evaluation at merged breaktimes."""
+    if left.is_zero:
+        return right
+    if right.is_zero:
+        return left
+    times = sorted(
+        {t for t, _ in left.breakpoints} | {t for t, _ in right.breakpoints}
+    )
+    return RateProfile(
+        (t, _reference_rate_at(left, t) + _reference_rate_at(right, t))
+        for t in times
+    )
+
+
+def _reference_subtract(left: RateProfile, right: RateProfile) -> RateProfile:
+    """Pointwise subtraction by rate_at evaluation at merged breaktimes."""
+    if right.is_zero:
+        return left
+    times = sorted(
+        {t for t, _ in left.breakpoints} | {t for t, _ in right.breakpoints}
+    )
+    points: list[Tuple[Time, Time]] = []
+    for t in times:
+        value = _reference_rate_at(left, t) - _reference_rate_at(right, t)
+        if value < 0:
+            if not is_exact(value) and -value <= EPSILON:
+                value = 0
+            else:
+                raise UndefinedOperationError(
+                    f"subtraction would make the rate negative at t={t!r}"
+                )
+        points.append((t, value))
+    return RateProfile(points)
+
+
+def _reference_from_segments(
+    segments: Iterable[Tuple[Interval, Time]]
+) -> RateProfile:
+    """Quadratic repeated-addition ``from_segments``."""
+    profile = _ZERO
+    for window, rate in segments:
+        profile = _reference_add(profile, RateProfile.constant(rate, window))
+    return profile

@@ -38,13 +38,20 @@ class ResourceSet:
     __slots__ = ("_profiles",)
 
     def __init__(self, terms: Iterable[ResourceTerm] = ()) -> None:
-        profiles: Dict[LocatedType, RateProfile] = {}
+        # Group segments per located type and aggregate each group with a
+        # single k-way breakpoint merge (RateProfile.from_segments) instead
+        # of quadratic repeated addition over the term list.
+        segments: Dict[LocatedType, list] = {}
         for item in terms:
             if item.is_null:
                 continue
-            current = profiles.get(item.ltype, RateProfile.zero())
-            profiles[item.ltype] = current + item.profile()
-        self._profiles = {lt: p for lt, p in profiles.items() if not p.is_zero}
+            segments.setdefault(item.ltype, []).append(item.segment)
+        profiles: Dict[LocatedType, RateProfile] = {}
+        for ltype, group in segments.items():
+            profile = RateProfile.from_segments(group)
+            if not profile.is_zero:
+                profiles[ltype] = profile
+        self._profiles = profiles
 
     # ------------------------------------------------------------------
     # Constructors

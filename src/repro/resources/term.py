@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from numbers import Real
+from typing import Tuple
 
 from repro.errors import InvalidTermError, LocatedTypeMismatchError
 from repro.intervals.interval import Interval, Time
@@ -56,6 +57,12 @@ class ResourceTerm:
         if self.is_null:
             return 0
         return self.rate * self.window.duration
+
+    @property
+    def segment(self) -> Tuple[Interval, Time]:
+        """The term as a ``(window, rate)`` pair — the unit the k-way
+        profile merge (:meth:`RateProfile.from_segments`) aggregates."""
+        return (self.window, self.rate)
 
     def profile(self) -> RateProfile:
         """The term as a one-segment rate profile."""

@@ -200,6 +200,9 @@ class OpenSystemSimulator:
         self._victims: Dict[str, _ActiveVictim] = {}
         self._flagged: set = set()
         self._horizon: Time = 0
+        # Consumption per owning arrival, tallied as slices execute so
+        # salvage accounting needs no rescan of the whole trace.
+        self._consumed_by_owner: Dict[str, float] = {}
         if initial_resources is not None and not initial_resources.is_empty:
             self._admission.observe_resources(initial_resources, start_time)
 
@@ -226,6 +229,7 @@ class OpenSystemSimulator:
         self._victims = {}
         self._flagged = set()
         self._horizon = horizon
+        self._consumed_by_owner = {}
 
         def tally_offered(resources: ResourceSet) -> None:
             for ltype in resources.located_types:
@@ -255,8 +259,12 @@ class OpenSystemSimulator:
             allocations = self._allocation.allocate(state, self._dt)
             transition = step(state, self._dt, allocations)
             trace.record(transition)
-            for _, ltype, quantity in transition.label.consumed:
+            for actor, ltype, quantity in transition.label.consumed:
                 consumed[ltype] = consumed.get(ltype, 0) + quantity
+                owner = actor.split("[")[0]
+                self._consumed_by_owner[owner] = self._consumed_by_owner.get(
+                    owner, 0.0
+                ) + float(quantity)
             state = transition.target
 
             # 3. Outcome bookkeeping.  A multi-actor arrival completes when
@@ -598,10 +606,7 @@ class OpenSystemSimulator:
         if victim is not None:
             record.recovery_attempts = victim.attempts
         record.abandoned = True
-        salvaged = 0.0
-        for actor, amounts in trace.consumption_by_actor().items():
-            if actor.split("[")[0] == record.label:
-                salvaged += float(sum(amounts.values()))
+        salvaged = self._consumed_by_owner.get(record.label, 0.0)
         record.salvaged = salvaged
         trace.note(
             now,

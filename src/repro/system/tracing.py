@@ -30,6 +30,14 @@ from repro.resources.located_type import LocatedType
 LOSS_CAUSES = ("revocation", "crash", "degradation")
 
 
+def _check_cause(cause: str) -> None:
+    """Reject cause strings outside the known event vocabulary."""
+    if cause not in LOSS_CAUSES:
+        raise ValueError(
+            f"unknown loss cause {cause!r}; expected one of {LOSS_CAUSES}"
+        )
+
+
 @dataclass(frozen=True)
 class TraceNote:
     """A timestamped free-form annotation (event outcomes etc.)."""
@@ -81,8 +89,7 @@ class SimulationTrace:
     def record_loss(
         self, time: Time, cause: str, ltype: LocatedType, quantity: Time
     ) -> None:
-        if cause not in LOSS_CAUSES:
-            raise ValueError(f"unknown loss cause {cause!r}")
+        _check_cause(cause)
         self.losses.append(ResourceLoss(time, cause, ltype, quantity))
 
     def record_violation(self, violation: PromiseViolation) -> None:
@@ -98,8 +105,26 @@ class SimulationTrace:
         """Labels of every promise-violation victim, in detection order."""
         return tuple(v.label for v in self.violations)
 
-    def violations_of(self, label: str) -> Tuple[PromiseViolation, ...]:
-        return tuple(v for v in self.violations if v.label == label)
+    def violations_of(
+        self, label: str, *, cause: str | None = None
+    ) -> Tuple[PromiseViolation, ...]:
+        """Violations recorded against ``label`` (empty tuple when the
+        trace recorded none — including on an empty trace).
+
+        ``cause`` restricts to violations triggered (at least in part) by
+        one fault cause; it must name a known cause from
+        :data:`LOSS_CAUSES`, otherwise :class:`ValueError` is raised — an
+        unknown cause would silently return the same empty tuple as "never
+        violated".
+        """
+        if cause is not None:
+            _check_cause(cause)
+        return tuple(
+            v
+            for v in self.violations
+            if v.label == label
+            and (cause is None or cause in v.cause.split("+"))
+        )
 
     def consumed_totals(self) -> Dict[LocatedType, Time]:
         """Total consumption per located type across the trace.
@@ -123,10 +148,18 @@ class SimulationTrace:
     def lost_totals(self, cause: str | None = None) -> Dict[LocatedType, Time]:
         """Total capacity lost to faults per located type.
 
-        ``cause`` restricts to one of :data:`LOSS_CAUSES`; by default all
-        losses aggregate (the `+ revoked + crash-lost` leg of the extended
-        conservation identity).
+        ``cause`` restricts to one of :data:`LOSS_CAUSES` and is validated
+        *before* the trace is consulted: an unknown cause raises
+        :class:`ValueError` rather than returning an empty dict
+        indistinguishable from "no losses".  With no cause, all losses
+        aggregate (the ``+ revoked + crash-lost`` leg of the extended
+        conservation identity).  An empty (or loss-free) trace yields
+        empty, zero-everywhere totals, never an error.
         """
+        if cause is not None:
+            _check_cause(cause)
+        if not self.losses:
+            return {}
         totals: Dict[LocatedType, Time] = {}
         for loss in self.losses:
             if cause is not None and loss.cause != cause:

@@ -73,6 +73,25 @@ class TestScenario:
         assert "+faults@" not in out
         assert "promise violations" not in out
 
+    @pytest.mark.parametrize("flag", [
+        "--crash-rate", "--revocation-rate", "--straggler-rate",
+    ])
+    @pytest.mark.parametrize("value", ["-0.1", "1.5", "nan", "lots"])
+    def test_rates_outside_unit_interval_rejected(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "pipeline", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "[0, 1]" in err or "expected a number" in err
+
+    @pytest.mark.parametrize("value", ["-1", "3.5", "seven"])
+    def test_bad_fault_seed_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "pipeline", "--fault-seed", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert ">= 0" in err or "expected an integer" in err
+
 
 class TestCheck:
     def test_admitted(self, tmp_path, capsys):

@@ -102,6 +102,31 @@ class TestTraceFaultErgonomics:
         assert trace.crash_lost_totals() == {cpu1: 3}
         assert trace.lost_totals() == {cpu1: 8}
 
+    def test_lost_totals_rejects_unknown_cause(self, cpu1):
+        trace = SimulationTrace()
+        # Validated even when the trace is empty: an unknown cause must
+        # not be indistinguishable from "no losses".
+        with pytest.raises(ValueError, match="gremlins"):
+            trace.lost_totals("gremlins")
+        trace.record_loss(2, "crash", cpu1, 3)
+        with pytest.raises(ValueError, match="unknown loss cause"):
+            trace.lost_totals("crashes")
+
+    def test_violations_of_filters_by_cause(self):
+        trace = SimulationTrace()
+        compound = PromiseViolation(
+            time=4, label="job", cause="crash+revocation", deadline=10,
+            remaining_total=6,
+        )
+        trace.record_violation(compound)
+        assert trace.violations_of("job", cause="crash") == (compound,)
+        assert trace.violations_of("job", cause="revocation") == (compound,)
+        assert trace.violations_of("job", cause="degradation") == ()
+        with pytest.raises(ValueError, match="unknown loss cause"):
+            trace.violations_of("job", cause="gremlins")
+        with pytest.raises(ValueError):
+            SimulationTrace().violations_of("job", cause="gremlins")
+
     def test_violations_accessors(self):
         trace = SimulationTrace()
         violation = PromiseViolation(
