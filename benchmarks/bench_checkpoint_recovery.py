@@ -1,0 +1,296 @@
+"""E16 — What durability costs and what a crash costs to undo.
+
+E14 (``bench_fault_recovery.py``) established how much deadline assurance
+the recovery pipeline buys back when promises break.  This experiment
+prices the machinery that makes those runs *survivable*: the write-ahead
+journal and periodic checkpoints of :mod:`repro.system.checkpoint`.
+
+Two questions, answered on the E14 fault-recovery workload:
+
+* **Overhead** — how much slower is the identical simulation when every
+  applied event and admission decision is journaled before taking effect
+  (and, separately, when periodic snapshots are written too)?  The
+  acceptance bar is journaling overhead <= 25%; the report asserts it in
+  full mode and records the measured fraction either way.  Identity is
+  asserted unconditionally: the journaled and checkpointed runs must
+  fingerprint-match the plain one field for field.
+
+* **Recovery** — when the process dies at 25% / 50% / 75% of its journal,
+  how long does restore-plus-replay take, and how many pinned records
+  does the resumed run re-verify?  Each resumed report must again be
+  identical to the uninterrupted run.
+
+Runs standalone for CI smoke tests::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint_recovery.py --quick
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.baselines import RotaAdmission
+from repro.faults import (
+    FaultPlan,
+    RecoveryPolicy,
+    SimulatedCrash,
+    crashing_opener,
+    diff_fingerprints,
+    faulty_scenario,
+    report_fingerprint,
+)
+from repro.system import OpenSystemSimulator, ReservationPolicy
+from repro.system.checkpoint import CheckpointStore, Journal
+from repro.workloads import volunteer_scenario
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_checkpoint_recovery.json"
+)
+
+# The E14 fault-recovery workload: same plan, same seeds, same patience.
+BASE_PLAN = FaultPlan(
+    seed=17, crash_rate=0.02, revocation_rate=0.25, straggler_rate=0.02
+)
+CRASH_FRACTIONS = (0.25, 0.5, 0.75)
+
+
+def make_scenario(*, quick: bool = False):
+    if quick:
+        base = volunteer_scenario(23, nodes=4, horizon=80, session_rate=0.5)
+    else:
+        base = volunteer_scenario(23, nodes=6, horizon=150, session_rate=0.5)
+    return faulty_scenario(base, BASE_PLAN.scaled(1.5))
+
+
+def make_simulator(scenario) -> OpenSystemSimulator:
+    return OpenSystemSimulator(
+        RotaAdmission(),
+        initial_resources=scenario.initial_resources,
+        allocation_policy=ReservationPolicy(),
+        recovery=RecoveryPolicy(max_attempts=8),
+    )
+
+
+def _timed_run(scenario, repeats: int, **run_kwargs):
+    """Best-of-``repeats`` wall time and the last run's report."""
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        journal = run_kwargs.get("journal")
+        if journal is not None:
+            # Journals open in append mode; a repeat is a fresh run.
+            Path(journal).unlink(missing_ok=True)
+        simulator = make_simulator(scenario)
+        simulator.schedule(*scenario.events)
+        started = time.perf_counter()
+        report = simulator.run(scenario.horizon, **run_kwargs)
+        best = min(best, time.perf_counter() - started)
+    return best, report
+
+
+def bench_overhead(
+    scenario, workdir: Path, *, repeats: int = 3, checkpoint_every: int = 5
+) -> Dict[str, float]:
+    """Plain vs journaled vs journaled+checkpointed wall time."""
+    plain_s, plain = _timed_run(scenario, repeats)
+    truth = report_fingerprint(plain)
+
+    jdir = workdir / "journal-only"
+    jdir.mkdir(parents=True, exist_ok=True)
+    journal_s, journaled = _timed_run(
+        scenario, repeats, journal=jdir / "journal.jsonl"
+    )
+    gaps = diff_fingerprints(truth, report_fingerprint(journaled))
+    assert not gaps, f"journaling altered the run: {gaps}"
+
+    cdir = workdir / "checkpointed"
+    cdir.mkdir(parents=True, exist_ok=True)
+    checkpoint_s, checkpointed = _timed_run(
+        scenario, repeats,
+        journal=cdir / "journal.jsonl",
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=cdir,
+    )
+    gaps = diff_fingerprints(truth, report_fingerprint(checkpointed))
+    assert not gaps, f"checkpointing altered the run: {gaps}"
+
+    records, _ = Journal.scan(jdir / "journal.jsonl")
+    return {
+        "plain_s": plain_s,
+        "journaled_s": journal_s,
+        "checkpointed_s": checkpoint_s,
+        "journal_records": len(records),
+        "journal_overhead_frac": (journal_s - plain_s) / plain_s,
+        "checkpoint_overhead_frac": (checkpoint_s - plain_s) / plain_s,
+    }
+
+
+def bench_recovery(
+    scenario,
+    workdir: Path,
+    *,
+    fractions=CRASH_FRACTIONS,
+    checkpoint_every: int = 5,
+) -> List[Dict[str, float]]:
+    """Kill the journaled run at fractions of its WAL; time the resume."""
+    basedir = workdir / "recovery-baseline"
+    basedir.mkdir(parents=True, exist_ok=True)
+    _, baseline = _timed_run(
+        scenario, 1,
+        journal=basedir / "journal.jsonl",
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=basedir,
+    )
+    truth = report_fingerprint(baseline)
+    records, _ = Journal.scan(basedir / "journal.jsonl")
+    total = len(records)
+
+    rows = []
+    for fraction in fractions:
+        crash_at = max(2, round(fraction * total))
+        pointdir = workdir / f"crash-{int(fraction * 100):02d}"
+        pointdir.mkdir(parents=True, exist_ok=True)
+        journal_path = pointdir / "journal.jsonl"
+        journal = Journal(
+            journal_path, opener=crashing_opener(crash_at_write=crash_at)
+        )
+        simulator = make_simulator(scenario)
+        simulator.schedule(*scenario.events)
+        try:
+            simulator.run(
+                scenario.horizon,
+                journal=journal,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=pointdir,
+            )
+            raise AssertionError(
+                f"run survived its crash budget ({crash_at}/{total} writes)"
+            )
+        except SimulatedCrash:
+            pass
+        finally:
+            journal.close()
+
+        started = time.perf_counter()
+        latest = CheckpointStore(pointdir).latest()
+        assert latest is not None, f"no checkpoint survived at {fraction}"
+        resumed = OpenSystemSimulator.resume(latest, journal_path)
+        replayed = len(resumed._replay_records)
+        resumed_report = resumed.resume_run()
+        resume_s = time.perf_counter() - started
+        gaps = diff_fingerprints(truth, report_fingerprint(resumed_report))
+        rows.append(
+            {
+                "crash_fraction": fraction,
+                "crash_at_write": crash_at,
+                "journal_records_total": total,
+                "replayed_records": replayed,
+                "resume_s": resume_s,
+                "identical": not gaps,
+            }
+        )
+        assert not gaps, f"resume at {fraction} diverged: {gaps}"
+    return rows
+
+
+def run_suite(workdir: Path, *, quick: bool = False) -> Dict[str, object]:
+    scenario = make_scenario(quick=quick)
+    overhead = bench_overhead(
+        scenario, workdir / "overhead", repeats=2 if quick else 3
+    )
+    recovery = bench_recovery(scenario, workdir / "recovery")
+    results = {
+        "workload": "E14 fault-recovery (volunteer seed=23, plan seed=17, "
+        "intensity 1.5)",
+        "quick": quick,
+        "overhead": overhead,
+        "recovery": recovery,
+    }
+    if not quick:
+        # Acceptance: write-ahead journaling costs at most a quarter of
+        # the simulation itself on the reference workload.
+        assert overhead["journal_overhead_frac"] <= 0.25, overhead
+    return results
+
+
+def _render(results: Dict[str, object]) -> str:
+    overhead = results["overhead"]
+    lines = [
+        "E16 — durability overhead and crash recovery",
+        f"  plain          {overhead['plain_s']:.4f}s",
+        f"  journaled      {overhead['journaled_s']:.4f}s "
+        f"({overhead['journal_overhead_frac'] * 100:+.1f}%, "
+        f"{overhead['journal_records']} WAL records)",
+        f"  checkpointed   {overhead['checkpointed_s']:.4f}s "
+        f"({overhead['checkpoint_overhead_frac'] * 100:+.1f}%)",
+    ]
+    for row in results["recovery"]:
+        lines.append(
+            f"  crash@{int(row['crash_fraction'] * 100):2d}%      "
+            f"resume={row['resume_s']:.4f}s "
+            f"replayed={row['replayed_records']}/"
+            f"{row['journal_records_total']} records "
+            f"identical={row['identical']}"
+        )
+    return "\n".join(lines)
+
+
+def write_results(results: Dict[str, object]) -> None:
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def test_durability_identity_and_overhead(tmp_path, emit):
+    scenario = make_scenario(quick=True)
+    overhead = bench_overhead(scenario, tmp_path, repeats=1)
+    # Identity is asserted inside bench_overhead; here only sanity-check
+    # that the workload journals something and timing stayed plausible.
+    # (The strict <= 25% bar is enforced by the full run in main(); quick
+    # CI boxes are too noisy for tight wall-clock assertions.)
+    assert overhead["journal_records"] > 0
+    assert overhead["journal_overhead_frac"] < 2.0
+    emit(
+        f"quick journal overhead "
+        f"{overhead['journal_overhead_frac'] * 100:.1f}% over "
+        f"{overhead['journal_records']} records"
+    )
+
+
+def test_crash_fraction_resume_identity(tmp_path):
+    scenario = make_scenario(quick=True)
+    rows = bench_recovery(scenario, tmp_path)
+    assert len(rows) == len(CRASH_FRACTIONS)
+    for row in rows:
+        assert row["identical"]
+        assert row["replayed_records"] <= row["journal_records_total"]
+
+
+def main(argv=None) -> int:
+    import argparse
+    import tempfile
+
+    parser = argparse.ArgumentParser(
+        description="durability overhead and crash-recovery timing (E16)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs (skips the 25%% bar)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="skip writing BENCH_checkpoint_recovery.json",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as tmp:
+        results = run_suite(Path(tmp), quick=args.quick)
+    if not args.no_write:
+        write_results(results)
+        print(f"wrote {RESULTS_PATH}")
+    print(_render(results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -110,6 +110,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="route promise-violation victims through the recovery "
         "pipeline (re-admission with capped exponential backoff)",
     )
+    durability = scenario.add_argument_group(
+        "durability",
+        "crash-consistent checkpoints and write-ahead journaling "
+        "(repro.system.checkpoint)",
+    )
+    durability.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write checkpoints and a journal under DIR/<policy>/",
+    )
+    durability.add_argument(
+        "--checkpoint-every", type=_nonnegative_int, default=25,
+        metavar="N",
+        help="snapshot every N applied events (default: 25; "
+        "requires --checkpoint-dir)",
+    )
+    durability.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from the latest checkpoint in "
+        "--checkpoint-dir/<policy>/ instead of starting fresh "
+        "(requires a single explicit --policy)",
+    )
 
     check = sub.add_parser("check", help="one-shot admission check from JSON")
     check.add_argument(
@@ -144,10 +165,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.faults import FaultPlan, RecoveryPolicy, faulty_scenario
 
-    from repro.errors import FaultInjectionError
+    from repro.errors import CheckpointError, FaultInjectionError
 
+    if args.resume and args.policy == "all":
+        print(
+            "error: --resume restores one interrupted run; pick the policy "
+            "explicitly with --policy",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print(
+            "error: --resume needs --checkpoint-dir to find the checkpoint",
+            file=sys.stderr,
+        )
+        return 2
     factory = SCENARIOS[args.name]
     scenario = factory(args.seed) if args.seed is not None else factory()
     try:
@@ -175,14 +211,35 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         allocation = (
             ReservationPolicy() if isinstance(policy, RotaAdmission) else None
         )
-        simulator = OpenSystemSimulator(
-            policy,
-            initial_resources=scenario.initial_resources,
-            allocation_policy=allocation,
-            recovery=recovery,
-        )
-        simulator.schedule(*scenario.events)
-        report = simulator.run(scenario.horizon)
+        durable: dict = {}
+        if args.checkpoint_dir is not None and not args.resume:
+            policy_dir = Path(args.checkpoint_dir) / cls.name
+            policy_dir.mkdir(parents=True, exist_ok=True)
+            # A fresh run starts fresh artifacts: checkpoints from an
+            # earlier run at higher step numbers would otherwise shadow
+            # this run's snapshots on a later --resume.
+            for stale in policy_dir.glob("ckpt-*.json"):
+                stale.unlink()
+            durable = {
+                "checkpoint_every": args.checkpoint_every,
+                "checkpoint_dir": policy_dir,
+                "journal": policy_dir / "journal.jsonl",
+            }
+        try:
+            if args.resume:
+                report = _resume_scenario(Path(args.checkpoint_dir), cls.name)
+            else:
+                simulator = OpenSystemSimulator(
+                    policy,
+                    initial_resources=scenario.initial_resources,
+                    allocation_policy=allocation,
+                    recovery=recovery,
+                )
+                simulator.schedule(*scenario.events)
+                report = simulator.run(scenario.horizon, **durable)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         rows.append(score(report))
         if not plan.is_benign:
             fault_lines.append(
@@ -195,6 +252,28 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print("promise violations under faults:")
         print("\n".join(fault_lines))
     return 0
+
+
+def _resume_scenario(checkpoint_dir, policy_name):
+    """Restore the latest checkpoint under ``checkpoint_dir/policy_name``
+    and run the simulation to completion."""
+    from repro.errors import CheckpointError
+    from repro.system import latest_checkpoint
+
+    policy_dir = checkpoint_dir / policy_name
+    checkpoint_path = latest_checkpoint(policy_dir)
+    if checkpoint_path is None:
+        raise CheckpointError(
+            f"no usable checkpoint under {policy_dir}; "
+            "run with --checkpoint-dir first"
+        )
+    journal_path = policy_dir / "journal.jsonl"
+    simulator = OpenSystemSimulator.resume(
+        checkpoint_path,
+        journal_path if journal_path.exists() else None,
+        checkpoint_dir=policy_dir,
+    )
+    return simulator.resume_run()
 
 
 def _cmd_check(args: argparse.Namespace) -> int:

@@ -69,6 +69,17 @@ class FaultInjectionError(RotaError, ValueError):
     the experiment, not an injected fault."""
 
 
+class CheckpointError(RotaError, RuntimeError):
+    """A durability artifact is unusable: a checkpoint failed its checksum
+    or carries an unknown future format version, a write-ahead journal is
+    corrupt before its tail, or a resumed run diverged from the decisions
+    the journal pinned.
+
+    A *torn tail* (the last journal record cut short by a crash) is not an
+    error — recovery discards it by design — but corruption anywhere in
+    the already-acknowledged prefix is."""
+
+
 class RecoveryError(RotaError, RuntimeError):
     """The promise-violation recovery pipeline reached an inconsistent
     configuration (e.g. a recovery offer for a computation that was never

@@ -19,16 +19,34 @@ simulator the machinery to *survive* the breakage:
 """
 
 from repro.baselines.retry import ExponentialBackoff
+from repro.faults.chaos import (
+    ChaosResult,
+    CrashingFile,
+    CrashPoint,
+    SimulatedCrash,
+    chaos_crash_matrix,
+    crashing_opener,
+    diff_fingerprints,
+    report_fingerprint,
+)
 from repro.faults.detection import Victim, find_victims, residual_requirement
 from repro.faults.plan import FaultPlan, faulty_scenario
 from repro.faults.recovery import RecoveryPolicy
 from repro.system.tracing import PromiseViolation, ResourceLoss
 
 __all__ = [
+    "ChaosResult",
+    "CrashingFile",
+    "CrashPoint",
     "ExponentialBackoff",
     "FaultPlan",
+    "SimulatedCrash",
+    "chaos_crash_matrix",
+    "crashing_opener",
+    "diff_fingerprints",
     "faulty_scenario",
     "find_victims",
+    "report_fingerprint",
     "residual_requirement",
     "PromiseViolation",
     "RecoveryPolicy",

@@ -1,0 +1,462 @@
+"""Chaos harness: kill a run anywhere, resume it, demand identity.
+
+The durability subsystem's contract (:mod:`repro.system.checkpoint`) is
+that a run interrupted at *any* instant resumes to the same temporal
+state — not a merely similar one.  This module turns that sentence into
+an exhaustive experiment:
+
+* :class:`CrashingFile` — an injectable file object that dies after a
+  budgeted number of writes, optionally mid-write (leaving the torn tail
+  a real ``kill -9`` would leave);
+* :func:`chaos_crash_matrix` — runs one seeded scenario, then re-runs it
+  once per crash point (every journal-record boundary, i.e. every event
+  application and admission decision, plus mid-write tears and
+  checkpoint-write crashes), resumes each from the surviving artifacts,
+  and compares the resumed :class:`~repro.system.simulator.SimulationReport`
+  field-for-field against the uninterrupted run;
+* :func:`report_fingerprint` — the canonical, exhaustive comparison form
+  (records including violation causes and salvage accounting, offered /
+  consumed tallies, every trace note, loss, violation, and per-slice
+  transition label).
+
+Conservation (``offered = consumed + expired + lost``) is re-verified at
+the resume instant by :meth:`OpenSystemSimulator.resume` itself; the
+matrix additionally asserts it on every final report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import RotaError
+from repro.serialization import time_to_wire
+from repro.system.checkpoint import CheckpointStore, Journal
+from repro.system.simulator import OpenSystemSimulator, SimulationReport
+from repro.workloads.scenarios import Scenario
+
+
+class SimulatedCrash(RotaError, RuntimeError):
+    """The injected process death.  Raised by :class:`CrashingFile`; the
+    harness catches it where a supervisor would observe the exit."""
+
+
+class CrashingFile:
+    """File wrapper that crashes on the ``crash_at_write``-th write call.
+
+    With ``partial_bytes`` set, that write first delivers a prefix of its
+    payload (and flushes it, so the torn bytes truly reach the file) —
+    modelling a crash mid-``write(2)``.  With ``partial_bytes=None`` the
+    write delivers nothing: a clean record-boundary death.
+    """
+
+    def __init__(
+        self,
+        handle: Any,
+        *,
+        crash_at_write: int,
+        partial_bytes: Optional[int] = None,
+    ) -> None:
+        if crash_at_write < 1:
+            raise ValueError("crash_at_write counts writes from 1")
+        self._handle = handle
+        self._crash_at_write = crash_at_write
+        self._partial_bytes = partial_bytes
+        self._writes = 0
+
+    def write(self, data) -> int:
+        self._writes += 1
+        if self._writes == self._crash_at_write:
+            if self._partial_bytes:
+                torn = data[: self._partial_bytes]
+                self._handle.write(torn)
+                self._handle.flush()
+            raise SimulatedCrash(
+                f"simulated crash on write {self._writes}"
+                + (" (mid-write)" if self._partial_bytes else "")
+            )
+        return self._handle.write(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)
+
+
+def crashing_opener(
+    *, crash_at_write: int, partial_bytes: Optional[int] = None
+) -> Callable[..., CrashingFile]:
+    """An ``open``-alike whose files share one write budget — inject into
+    :class:`Journal` or :class:`CheckpointStore` to schedule the death."""
+    budget = {"writes_left": crash_at_write}
+
+    def opener(path, mode="r"):
+        handle = open(path, mode)
+        wrapper = CrashingFile(
+            handle,
+            crash_at_write=budget["writes_left"],
+            partial_bytes=partial_bytes,
+        )
+        # Writes on earlier files of the same opener count against the
+        # shared budget (a process has one death, not one per file).
+        original_write = wrapper.write
+
+        def write(data):
+            try:
+                return original_write(data)
+            finally:
+                budget["writes_left"] -= 1
+
+        wrapper.write = write  # type: ignore[method-assign]
+        return wrapper
+
+    return opener
+
+
+class _CrashingCheckpointStore(CheckpointStore):
+    """Checkpoint store whose ``crash_at_save``-th save dies mid-write,
+    leaving a torn temp file and never surfacing the final name."""
+
+    def __init__(self, directory, *, crash_at_save: int) -> None:
+        super().__init__(directory)
+        self._crash_at_save = crash_at_save
+        self._saves = 0
+
+    def save(self, checkpoint) -> Path:
+        self._saves += 1
+        if self._saves == self._crash_at_save:
+            torn = self.path_for(checkpoint.step).with_suffix(".json.tmp")
+            torn.write_text(checkpoint.to_json()[: 40])
+            raise SimulatedCrash(
+                f"simulated crash during checkpoint save {self._saves}"
+            )
+        return super().save(checkpoint)
+
+
+# ----------------------------------------------------------------------
+# Field-for-field report identity
+# ----------------------------------------------------------------------
+
+def report_fingerprint(report: SimulationReport) -> Dict[str, Any]:
+    """A canonical value covering every field a report exposes.
+
+    Two runs with equal fingerprints agree on every record (including
+    violation instants, recovery attempts, and salvage accounting), every
+    aggregate tally, and every trace entry down to per-slice consumption.
+    """
+    trace = report.trace
+    return {
+        "policy": report.policy_name,
+        "horizon": time_to_wire(report.horizon),
+        "records": [
+            {
+                "label": r.label,
+                "arrival_time": time_to_wire(r.arrival_time),
+                "window": (
+                    time_to_wire(r.window.start),
+                    time_to_wire(r.window.end),
+                ),
+                "total_demands": str(r.total_demands),
+                "admitted": r.admitted,
+                "rejection_reason": r.rejection_reason,
+                "completed": r.completed,
+                "finish_time": time_to_wire(r.finish_time)
+                if r.finish_time is not None
+                else None,
+                "missed": r.missed,
+                "violated_at": time_to_wire(r.violated_at)
+                if r.violated_at is not None
+                else None,
+                "recovery_attempts": r.recovery_attempts,
+                "recovered": r.recovered,
+                "abandoned": r.abandoned,
+                "salvaged": r.salvaged,
+                "outcome": r.outcome,
+            }
+            for r in report.records
+        ],
+        "offered": _tally(report.offered),
+        "consumed": _tally(report.consumed),
+        "notes": [(time_to_wire(n.time), n.message) for n in trace.notes],
+        "losses": [
+            (time_to_wire(l.time), l.cause, str(l.ltype), float(l.quantity))
+            for l in trace.losses
+        ],
+        "violations": [
+            (
+                time_to_wire(v.time),
+                v.label,
+                v.cause,
+                time_to_wire(v.deadline),
+                float(v.remaining_total),
+            )
+            for v in trace.violations
+        ],
+        "transitions": [
+            (
+                time_to_wire(tr.source.t),
+                sorted(
+                    (actor, str(ltype), float(q))
+                    for actor, ltype, q in tr.label.consumed
+                ),
+                sorted(
+                    (str(ltype), float(q)) for ltype, q in tr.label.expired
+                ),
+            )
+            for tr in trace.transitions
+        ],
+    }
+
+
+def _tally(amounts) -> List[tuple]:
+    return sorted((str(ltype), float(q)) for ltype, q in amounts.items())
+
+
+def diff_fingerprints(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Human-readable field paths where two fingerprints disagree."""
+    gaps = []
+    for key in a:
+        if a[key] != b[key]:
+            gaps.append(key)
+    return gaps
+
+
+# ----------------------------------------------------------------------
+# The crash matrix
+# ----------------------------------------------------------------------
+
+@dataclass
+class CrashPoint:
+    """One scheduled death and what resuming from it produced."""
+
+    kind: str  # "boundary" | "mid-write" | "checkpoint"
+    index: int  # write (or save) number the crash landed on
+    crashed: bool  # False when the run finished before the budget hit
+    resumed_from: str = ""  # checkpoint file name, or "fresh" fallback
+    replayed_records: int = 0
+    identical: bool = False
+    detail: str = ""
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of a full crash matrix over one scenario."""
+
+    points: List[CrashPoint] = field(default_factory=list)
+    journal_records: int = 0
+
+    @property
+    def crashed_points(self) -> List[CrashPoint]:
+        return [p for p in self.points if p.crashed]
+
+    @property
+    def mismatches(self) -> List[CrashPoint]:
+        return [p for p in self.crashed_points if not p.identical]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        crashed = self.crashed_points
+        return (
+            f"{len(crashed)} crash points "
+            f"({len(self.points)} scheduled), "
+            f"{len(crashed) - len(self.mismatches)} identical resumes, "
+            f"{len(self.mismatches)} mismatches"
+        )
+
+
+def chaos_crash_matrix(
+    scenario: Scenario,
+    simulator_factory: Callable[[], OpenSystemSimulator],
+    workdir: Union[str, Path],
+    *,
+    checkpoint_every: int = 5,
+    mid_write: bool = True,
+    checkpoint_crashes: int = 2,
+    boundary_stride: int = 1,
+) -> ChaosResult:
+    """Kill one seeded run at every event boundary; assert resume identity.
+
+    ``simulator_factory`` must build a *fresh* simulator (fresh policy
+    state) each call; the scenario's events are scheduled by the harness.
+    ``boundary_stride`` thins the boundary sweep (1 = every journal
+    record) for quick CI passes.  Returns a :class:`ChaosResult`; callers
+    assert ``result.ok``.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    # Ground truth: one plain run (no durability I/O at all) ...
+    plain = simulator_factory()
+    plain.schedule(*scenario.events)
+    truth = report_fingerprint(plain.run(scenario.horizon))
+
+    # ... and one journaled run, to prove journaling changes nothing and
+    # to learn how many WAL records a full run writes.
+    basedir = workdir / "baseline"
+    base_sim = simulator_factory()
+    base_sim.schedule(*scenario.events)
+    base_report = base_sim.run(
+        scenario.horizon,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=basedir,
+        journal=basedir / "journal.jsonl",
+    )
+    base_fp = report_fingerprint(base_report)
+    if base_fp != truth:
+        raise AssertionError(
+            "journaling altered the run itself: "
+            f"{diff_fingerprints(truth, base_fp)}"
+        )
+    records, _ = Journal.scan(basedir / "journal.jsonl")
+    total = len(records)
+
+    result = ChaosResult(journal_records=total)
+    # Crash on the k-th journal write: the surviving journal holds k-1
+    # acknowledged records — that is, death at every record boundary.
+    for write_index in range(1, total + 1, boundary_stride):
+        result.points.append(
+            _run_crash_point(
+                scenario, simulator_factory, truth,
+                workdir / f"boundary-{write_index:04d}",
+                kind="boundary",
+                crash_at_write=write_index,
+                partial_bytes=None,
+                checkpoint_every=checkpoint_every,
+            )
+        )
+        if mid_write:
+            result.points.append(
+                _run_crash_point(
+                    scenario, simulator_factory, truth,
+                    workdir / f"midwrite-{write_index:04d}",
+                    kind="mid-write",
+                    crash_at_write=write_index,
+                    partial_bytes=17,
+                    checkpoint_every=checkpoint_every,
+                )
+            )
+    # Crashes while *writing a checkpoint*: the torn snapshot must never
+    # surface; resume falls back to the previous one plus a longer replay.
+    for save_index in range(2, 2 + checkpoint_crashes):
+        result.points.append(
+            _run_checkpoint_crash_point(
+                scenario, simulator_factory, truth,
+                workdir / f"ckptcrash-{save_index:02d}",
+                crash_at_save=save_index,
+                checkpoint_every=checkpoint_every,
+            )
+        )
+    return result
+
+
+def _run_crash_point(
+    scenario: Scenario,
+    simulator_factory: Callable[[], OpenSystemSimulator],
+    truth: Dict[str, Any],
+    pointdir: Path,
+    *,
+    kind: str,
+    crash_at_write: int,
+    partial_bytes: Optional[int],
+    checkpoint_every: int,
+) -> CrashPoint:
+    pointdir.mkdir(parents=True, exist_ok=True)
+    journal_path = pointdir / "journal.jsonl"
+    journal = Journal(
+        journal_path,
+        opener=crashing_opener(
+            crash_at_write=crash_at_write, partial_bytes=partial_bytes
+        ),
+    )
+    simulator = simulator_factory()
+    simulator.schedule(*scenario.events)
+    point = CrashPoint(kind=kind, index=crash_at_write, crashed=False)
+    try:
+        simulator.run(
+            scenario.horizon,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=pointdir,
+            journal=journal,
+        )
+        return point  # budget outlived the run; nothing to resume
+    except SimulatedCrash:
+        point.crashed = True
+    finally:
+        journal.close()
+    return _resume_and_compare(
+        scenario, simulator_factory, truth, pointdir, journal_path, point
+    )
+
+
+def _run_checkpoint_crash_point(
+    scenario: Scenario,
+    simulator_factory: Callable[[], OpenSystemSimulator],
+    truth: Dict[str, Any],
+    pointdir: Path,
+    *,
+    crash_at_save: int,
+    checkpoint_every: int,
+) -> CrashPoint:
+    pointdir.mkdir(parents=True, exist_ok=True)
+    journal_path = pointdir / "journal.jsonl"
+    store = _CrashingCheckpointStore(pointdir, crash_at_save=crash_at_save)
+    simulator = simulator_factory()
+    simulator.schedule(*scenario.events)
+    point = CrashPoint(kind="checkpoint", index=crash_at_save, crashed=False)
+    try:
+        simulator.run(
+            scenario.horizon,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=store,
+            journal=journal_path,
+        )
+        return point
+    except SimulatedCrash:
+        point.crashed = True
+    return _resume_and_compare(
+        scenario, simulator_factory, truth, pointdir, journal_path, point
+    )
+
+
+def _resume_and_compare(
+    scenario: Scenario,
+    simulator_factory: Callable[[], OpenSystemSimulator],
+    truth: Dict[str, Any],
+    pointdir: Path,
+    journal_path: Path,
+    point: CrashPoint,
+) -> CrashPoint:
+    store = CheckpointStore(pointdir)
+    latest = store.latest()
+    if latest is None:
+        # Death before any snapshot became durable: nothing to restore,
+        # so recovery degenerates to starting over — still loss-free.
+        point.resumed_from = "fresh"
+        fresh = simulator_factory()
+        fresh.schedule(*scenario.events)
+        resumed_report = fresh.run(scenario.horizon)
+    else:
+        point.resumed_from = latest.name
+        resumed = OpenSystemSimulator.resume(
+            latest, journal_path if journal_path.exists() else None
+        )
+        point.replayed_records = len(resumed._replay_records)
+        resumed_report = resumed.resume_run()
+    fingerprint = report_fingerprint(resumed_report)
+    point.identical = fingerprint == truth
+    if not point.identical:
+        point.detail = "diverged fields: " + ", ".join(
+            diff_fingerprints(truth, fingerprint)
+        )
+    return point

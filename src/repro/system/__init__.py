@@ -18,6 +18,13 @@ from repro.system.events import (
     rate_degradation,
     resource_join,
 )
+from repro.system.checkpoint import (
+    CheckpointStore,
+    Journal,
+    SimulatorCheckpoint,
+    atomic_writer,
+    latest_checkpoint,
+)
 from repro.system.node import Topology
 from repro.system.scheduler import (
     AllocationPolicy,
@@ -55,6 +62,11 @@ __all__ = [
     "EdfPolicy",
     "FcfsPolicy",
     "ReservationPolicy",
+    "CheckpointStore",
+    "Journal",
+    "SimulatorCheckpoint",
+    "atomic_writer",
+    "latest_checkpoint",
     "ComputationRecord",
     "OpenSystemSimulator",
     "SimulationReport",

@@ -1,0 +1,409 @@
+"""Crash-consistent durability: checkpoints and write-ahead journaling.
+
+The simulator keeps every promise, violation, and recovery record in
+memory; a process crash used to forfeit all of them.  This module gives a
+run two durable artifacts that together make any instant survivable:
+
+* a **checkpoint** (:class:`SimulatorCheckpoint`) — a versioned,
+  checksummed snapshot of the full simulator state (``rho``, the
+  computation records, pending recoveries and their backoff schedules,
+  the event heap, trace counters, the admission/allocation policy state,
+  and the global event-sequence counter), written atomically so a crash
+  mid-write can never surface a half-snapshot;
+* a **write-ahead journal** (:class:`Journal`) — every applied event and
+  admission decision appended as a CRC-tagged JSONL record *before* it
+  takes effect.  Recovery replays up to the last complete record and
+  discards a torn tail; corruption anywhere earlier is an error, never a
+  silent truncation.
+
+The replay contract: execution from a checkpoint is deterministic, so a
+resumed run regenerates the journal suffix record-for-record.  Each
+regenerated record is *verified* against the journaled one — an admission
+promise recorded before the crash is replayed, never re-decided; any
+divergence raises :class:`~repro.errors.CheckpointError` instead of
+silently rewriting history.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import CheckpointError
+
+PathLike = Union[str, Path]
+Opener = Callable[..., Any]
+
+#: Wire version of the journal's JSONL records.
+JOURNAL_FORMAT_VERSION = 1
+#: Wire version of the checkpoint envelope.
+CHECKPOINT_FORMAT_VERSION = 1
+_CHECKPOINT_MAGIC = "rota-checkpoint"
+
+
+# ----------------------------------------------------------------------
+# Atomic file replacement
+# ----------------------------------------------------------------------
+
+@contextmanager
+def atomic_writer(
+    path: PathLike, *, mode: str = "w", opener: Opener = open
+) -> Iterator[Any]:
+    """Write ``path`` all-or-nothing: temp file + flush + fsync + rename.
+
+    A crash at any point before the final rename leaves the previous
+    contents of ``path`` (or its absence) untouched; readers never see a
+    torn file under the final name.  ``opener`` is injectable so the chaos
+    harness (:mod:`repro.faults.chaos`) can crash mid-write.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    handle = opener(str(tmp), mode)
+    committed = False
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp, path)
+        committed = True
+        _fsync_directory(path.parent)
+    finally:
+        if not committed:
+            try:
+                handle.close()
+            except Exception:
+                pass
+            tmp.unlink(missing_ok=True)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename to the directory entry (best-effort on exotic FS)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# Write-ahead journal
+# ----------------------------------------------------------------------
+
+def _encode_record(data: Dict[str, Any]) -> bytes:
+    body = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8"))
+    line = json.dumps(
+        {"crc": crc, "data": data}, sort_keys=True, separators=(",", ":")
+    )
+    return line.encode("utf-8") + b"\n"
+
+
+class Journal:
+    """Append-only CRC-tagged JSONL log with torn-tail-tolerant recovery.
+
+    Each :meth:`append` writes one complete line and flushes it, so a
+    process crash can tear at most the final record.  ``fsync=True``
+    additionally syncs every record to disk — surviving kernel/power
+    failure, not just process death — at a per-record latency cost.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        fsync: bool = False,
+        opener: Opener = open,
+        truncate: bool = False,
+        _count: int = 0,
+    ) -> None:
+        self._path = Path(path)
+        self._fsync = fsync
+        # A journal belongs to one run: fresh runs truncate, so records
+        # (or torn bytes) from a previous run at the same path can never
+        # poison this run's replay.  Resume keeps the acknowledged prefix.
+        self._handle = opener(str(self._path), "wb" if truncate else "ab")
+        self._count = _count
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def count(self) -> int:
+        """Records this handle has acknowledged (appended or pre-existing)."""
+        return self._count
+
+    def append(self, data: Dict[str, Any]) -> int:
+        """Durably append one record *before* its effect is applied."""
+        self._handle.write(_encode_record(data))
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self._count += 1
+        return self._count
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except ValueError:  # pragma: no cover - already closed
+            pass
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scan(path: PathLike) -> Tuple[List[Dict[str, Any]], int]:
+        """All complete, CRC-valid records plus the valid prefix length.
+
+        A damaged *final* record (truncated line, torn JSON, CRC mismatch)
+        is the signature of a crash mid-append and is silently dropped;
+        the returned offset excludes it so callers can truncate.  Damage
+        anywhere before the tail means the acknowledged prefix is corrupt
+        and raises :class:`CheckpointError`.
+        """
+        raw = Path(path).read_bytes()
+        records: List[Dict[str, Any]] = []
+        valid_end = 0
+        pos = 0
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            if newline == -1:
+                break  # unterminated final line: torn write, discard
+            line = raw[pos:newline]
+            pos = newline + 1
+            if not line:
+                valid_end = pos
+                continue
+            record = _decode_record(line)
+            if record is None:
+                # Damage in the *final* record is the signature of a
+                # crash mid-append and is dropped; anything after it
+                # means the acknowledged prefix itself is corrupt.
+                if raw[pos:].strip(b"\n") == b"":
+                    break
+                raise CheckpointError(
+                    f"{path}: corrupt journal record "
+                    f"{len(records) + 1} (before the tail)"
+                )
+            records.append(record)
+            valid_end = pos
+        return records, valid_end
+
+    @classmethod
+    def for_resume(
+        cls, path: PathLike, *, fsync: bool = False, opener: Opener = open
+    ) -> Tuple["Journal", List[Dict[str, Any]]]:
+        """Open an existing journal for continuation after a crash.
+
+        Scans the file, truncates the torn tail (if any), and returns the
+        journal positioned at its end together with the valid records.
+        """
+        records, valid_end = cls.scan(path)
+        size = Path(path).stat().st_size
+        if valid_end < size:
+            os.truncate(path, valid_end)
+        journal = cls(path, fsync=fsync, opener=opener, _count=len(records))
+        return journal, records
+
+
+def _decode_record(line: bytes) -> Optional[Dict[str, Any]]:
+    """One journal line back to its record; ``None`` when damaged."""
+    try:
+        envelope = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(envelope, dict) or "crc" not in envelope:
+        return None
+    data = envelope.get("data")
+    if not isinstance(data, dict):
+        return None
+    body = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    if zlib.crc32(body.encode("utf-8")) != envelope["crc"]:
+        return None
+    return data
+
+
+def journal_header(data: Dict[str, Any]) -> Dict[str, Any]:
+    """The journal's first record: format version plus run identity."""
+    return {
+        "type": "journal_header",
+        "format_version": JOURNAL_FORMAT_VERSION,
+        **data,
+    }
+
+
+def check_journal_header(record: Dict[str, Any], path: PathLike) -> None:
+    """Reject journals written by an unknown future format."""
+    if record.get("type") != "journal_header":
+        raise CheckpointError(
+            f"{path}: first journal record is {record.get('type')!r}, "
+            "expected 'journal_header'"
+        )
+    version = record.get("format_version")
+    if not isinstance(version, int) or version < 1:
+        raise CheckpointError(
+            f"{path}: bad journal format_version {version!r}"
+        )
+    if version > JOURNAL_FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: journal format_version {version} is newer than "
+            f"supported {JOURNAL_FORMAT_VERSION}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SimulatorCheckpoint:
+    """One atomic snapshot of a running simulation.
+
+    ``payload`` is the pickled simulator state (see
+    :meth:`repro.system.simulator.OpenSystemSimulator._snapshot`);
+    ``journal_records`` is how many journal records had been acknowledged
+    when the snapshot was taken, i.e. where replay-verification starts;
+    ``sequence`` is the global event-sequence counter
+    (:func:`repro.system.events.sequence_value`) to restore on resume.
+    """
+
+    step: int
+    journal_records: int
+    sequence: int
+    payload: bytes
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "magic": _CHECKPOINT_MAGIC,
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "step": self.step,
+                "journal_records": self.journal_records,
+                "sequence": self.sequence,
+                "sha256": hashlib.sha256(self.payload).hexdigest(),
+                "payload": base64.b64encode(self.payload).decode("ascii"),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str, *, source: str = "<checkpoint>") -> "SimulatorCheckpoint":
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"{source}: not a checkpoint file") from exc
+        if not isinstance(envelope, dict) or envelope.get("magic") != _CHECKPOINT_MAGIC:
+            raise CheckpointError(f"{source}: missing checkpoint magic")
+        version = envelope.get("format_version")
+        if not isinstance(version, int) or version < 1:
+            raise CheckpointError(
+                f"{source}: bad checkpoint format_version {version!r}"
+            )
+        if version > CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"{source}: checkpoint format_version {version} is newer "
+                f"than supported {CHECKPOINT_FORMAT_VERSION}"
+            )
+        try:
+            payload = base64.b64decode(envelope["payload"].encode("ascii"))
+        except (KeyError, AttributeError, ValueError) as exc:
+            raise CheckpointError(f"{source}: unreadable payload") from exc
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != envelope.get("sha256"):
+            raise CheckpointError(
+                f"{source}: checksum mismatch (corrupt checkpoint)"
+            )
+        return cls(
+            step=int(envelope["step"]),
+            journal_records=int(envelope["journal_records"]),
+            sequence=int(envelope["sequence"]),
+            payload=payload,
+        )
+
+    def save(self, path: PathLike, *, opener: Opener = open) -> Path:
+        path = Path(path)
+        with atomic_writer(path, opener=opener) as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SimulatorCheckpoint":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise CheckpointError(f"{path}: cannot read checkpoint") from exc
+        return cls.from_json(text, source=str(path))
+
+    def restore_state(self) -> Dict[str, Any]:
+        """Unpickle the snapshot payload."""
+        try:
+            return pickle.loads(self.payload)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint payload does not unpickle: {exc}"
+            ) from exc
+
+
+class CheckpointStore:
+    """A directory of ``ckpt-<step>.json`` files, newest-wins on resume."""
+
+    def __init__(self, directory: PathLike, *, opener: Opener = open) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._opener = opener
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, step: int) -> Path:
+        return self._directory / f"ckpt-{step:08d}.json"
+
+    def save(self, checkpoint: SimulatorCheckpoint) -> Path:
+        return checkpoint.save(
+            self.path_for(checkpoint.step), opener=self._opener
+        )
+
+    def latest(self) -> Optional[Path]:
+        """The newest checkpoint file that validates, or ``None``.
+
+        Atomic writes mean a final-named file is normally intact, but a
+        checkpoint that fails validation is skipped rather than fatal —
+        an older snapshot plus journal replay reaches the same state.
+        """
+        for path in sorted(self._directory.glob("ckpt-*.json"), reverse=True):
+            try:
+                SimulatorCheckpoint.load(path)
+            except CheckpointError:
+                continue
+            return path
+        return None
+
+
+def latest_checkpoint(directory: PathLike) -> Optional[Path]:
+    """Convenience wrapper: newest valid checkpoint in ``directory``."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    return CheckpointStore(directory).latest()

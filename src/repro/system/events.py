@@ -10,7 +10,6 @@ number so the simulation is deterministic.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -23,13 +22,47 @@ from repro.intervals.interval import Time
 from repro.resources.located_type import Node
 from repro.resources.resource_set import ResourceSet
 
-_sequence = itertools.count()
+class _EventSequence:
+    """Process-wide tie-breaking counter for events at equal times.
+
+    Unlike a bare :func:`itertools.count` the counter is *checkpointable*:
+    :func:`sequence_value` / :func:`restore_sequence` let the durability
+    subsystem (:mod:`repro.system.checkpoint`) snapshot it and wind a
+    resumed process back to the exact point the crashed one reached, so
+    events minted after resume (recovery offers) sort against the restored
+    heap exactly as they would have in the uninterrupted run.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def advance(self) -> int:
+        value = self._value
+        self._value += 1
+        return value
+
+
+_sequence = _EventSequence()
+
+
+def sequence_value() -> int:
+    """The next sequence number a new event would receive."""
+    return _sequence._value
+
+
+def restore_sequence(value: int) -> None:
+    """Reset the counter to ``value`` (a prior :func:`sequence_value`)."""
+    if value < 0:
+        raise ValueError(f"sequence value must be >= 0, got {value!r}")
+    _sequence._value = int(value)
 
 
 @dataclass(frozen=True, order=True)
 class _Ordered:
     time: Time
-    seq: int = field(default_factory=lambda: next(_sequence), compare=True)
+    seq: int = field(default_factory=_sequence.advance, compare=True)
 
 
 @dataclass(frozen=True, order=True)

@@ -28,17 +28,27 @@ or gracefully abandoned with salvage accounting.
 from __future__ import annotations
 
 import heapq
+import pickle
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
-from repro.baselines.base import AdmissionPolicy
+from repro.baselines.base import AdmissionPolicy, PolicyDecision
 from repro.computation.requirements import ConcurrentRequirement
-from repro.errors import SimulationError, TransitionError
+from repro.errors import CheckpointError, SimulationError, TransitionError
 from repro.intervals.interval import Interval, Time
 from repro.logic.state import SystemState, initial_state
 from repro.logic.transitions import accommodate, acquire, leave, step
 from repro.resources.located_type import LocatedType, Node
 from repro.resources.resource_set import ResourceSet
+from repro.serialization import time_to_wire
+from repro.system.checkpoint import (
+    CheckpointStore,
+    Journal,
+    SimulatorCheckpoint,
+    check_journal_header,
+    journal_header,
+)
 from repro.system.events import (
     ComputationArrivalEvent,
     ComputationLeaveEvent,
@@ -48,6 +58,8 @@ from repro.system.events import (
     RecoveryOfferEvent,
     ResourceJoinEvent,
     ResourceRevocationEvent,
+    restore_sequence,
+    sequence_value,
 )
 from repro.system.scheduler import AllocationPolicy, EdfPolicy, ReservationPolicy
 from repro.system.tracing import PromiseViolation, SimulationTrace
@@ -203,6 +215,23 @@ class OpenSystemSimulator:
         # Consumption per owning arrival, tallied as slices execute so
         # salvage accounting needs no rescan of the whole trace.
         self._consumed_by_owner: Dict[str, float] = {}
+        # Run-scoped report state (attributes, not run() locals, so a
+        # checkpoint can snapshot them mid-run — see _snapshot()).
+        self._records: Dict[str, ComputationRecord] = {}
+        self._offered: Dict[LocatedType, Time] = {}
+        self._consumed: Dict[LocatedType, Time] = {}
+        self._trace = SimulationTrace()
+        self._run_window: Optional[Interval] = None
+        # Durability plumbing (configured per run()).
+        self._journal: Optional[Journal] = None
+        self._owns_journal = False
+        self._journal_count = 0
+        self._replay_records: List[dict] = []
+        self._replay_pos = 0
+        self._checkpoint_store: Optional[CheckpointStore] = None
+        self._checkpoint_every = 0
+        self._last_checkpoint_step = -1
+        self._mid_run = False
         if initial_resources is not None and not initial_resources.is_empty:
             self._admission.observe_resources(initial_resources, start_time)
 
@@ -218,34 +247,178 @@ class OpenSystemSimulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, horizon: Time) -> SimulationReport:
-        """Execute until ``horizon``; returns the scored report."""
-        state = self._state
-        records: Dict[str, ComputationRecord] = {}
-        offered: Dict[LocatedType, Time] = {}
-        consumed: Dict[LocatedType, Time] = {}
-        trace = SimulationTrace()
-        run_window = Interval(self._start_time, horizon)
+    def run(
+        self,
+        horizon: Time,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Union[str, Path, CheckpointStore, None] = None,
+        journal: Union[str, Path, Journal, None] = None,
+        journal_fsync: bool = False,
+    ) -> SimulationReport:
+        """Execute until ``horizon``; returns the scored report.
+
+        Durability is opt-in: ``journal`` (a path or open
+        :class:`~repro.system.checkpoint.Journal`) write-ahead-logs every
+        applied event and admission decision; ``checkpoint_dir`` (with an
+        optional cadence ``checkpoint_every``, in timed slices) snapshots
+        the full simulator state atomically so a killed process resumes
+        via :meth:`resume` to the *same* temporal state.
+        """
+        if self._mid_run:
+            raise SimulationError(
+                "this simulator holds restored mid-run state; "
+                "call resume_run(), not run()"
+            )
+        self._horizon = horizon
+        self._run_window = Interval(self._start_time, horizon)
+        self._records = {}
+        self._offered = {}
+        self._consumed = {}
+        self._trace = SimulationTrace()
         self._victims = {}
         self._flagged = set()
-        self._horizon = horizon
         self._consumed_by_owner = {}
+        self._replay_records = []
+        self._replay_pos = 0
+        self._journal_count = 0
+        self._last_checkpoint_step = -1
+        self._tally_offered(self._state.theta)
+        self._configure_durability(
+            journal, checkpoint_every, checkpoint_dir, journal_fsync
+        )
+        # The initial checkpoint precedes the journal header: resume is
+        # possible even when the crash tears the very first journal write.
+        self._maybe_checkpoint(force=True)
+        if self._journal is not None:
+            self._journal_record(self._header_record())
+        return self._execute()
 
-        def tally_offered(resources: ResourceSet) -> None:
-            for ltype in resources.located_types:
-                amount = resources.quantity(ltype, run_window)
-                if amount > 0:
-                    offered[ltype] = offered.get(ltype, 0) + amount
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_path: Union[str, Path],
+        journal_path: Union[str, Path, None] = None,
+        *,
+        checkpoint_dir: Union[str, Path, CheckpointStore, None] = None,
+        journal_fsync: bool = False,
+        verify_conservation: bool = True,
+    ) -> "OpenSystemSimulator":
+        """Rebuild a mid-run simulator from its durable artifacts.
 
-        tally_offered(state.theta)
+        The checkpoint restores the snapshot (state, records, pending
+        recoveries mid-backoff, event heap, policy state, sequence
+        counter); the journal's suffix past the checkpoint is replayed by
+        deterministic re-execution, with every regenerated record verified
+        against the journaled one — recorded admission promises stand,
+        they are never re-decided.  The extended conservation identity
+        ``offered = consumed + expired + lost (+ remaining)`` is
+        re-verified at the restored instant before execution continues.
+        Call :meth:`resume_run` on the result to finish the run.
+        """
+        checkpoint = SimulatorCheckpoint.load(checkpoint_path)
+        payload = checkpoint.restore_state()
+        sim = cls.__new__(cls)
+        sim._admission = payload["admission"]
+        sim._allocation = payload["allocation"]
+        sim._recovery = payload["recovery"]
+        sim._dt = payload["dt"]
+        sim._start_time = payload["start_time"]
+        sim._invariant_interval = payload["invariant_interval"]
+        sim._state = payload["state"]
+        sim._records = payload["records"]
+        sim._offered = payload["offered"]
+        sim._consumed = payload["consumed"]
+        sim._trace = payload["trace"]
+        sim._events = payload["events"]
+        heapq.heapify(sim._events)
+        sim._victims = payload["victims"]
+        sim._flagged = payload["flagged"]
+        sim._consumed_by_owner = payload["consumed_by_owner"]
+        sim._horizon = payload["horizon"]
+        sim._run_window = Interval(sim._start_time, sim._horizon)
+        sim._checkpoint_every = payload.get("checkpoint_every", 0)
+        # Post-resume events (recovery offers) must sort against the
+        # restored heap exactly as the uninterrupted run's would have.
+        restore_sequence(checkpoint.sequence)
+        sim._last_checkpoint_step = checkpoint.step
+        store = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else Path(checkpoint_path).parent
+        )
+        sim._checkpoint_store = (
+            store
+            if isinstance(store, CheckpointStore)
+            else CheckpointStore(store)
+        )
+        sim._journal = None
+        sim._owns_journal = False
+        sim._replay_records = []
+        sim._replay_pos = 0
+        sim._journal_count = checkpoint.journal_records
+        if journal_path is not None:
+            journal, records = Journal.for_resume(
+                journal_path, fsync=journal_fsync
+            )
+            if records:
+                check_journal_header(records[0], journal.path)
+            if len(records) < checkpoint.journal_records:
+                raise CheckpointError(
+                    f"{journal.path}: journal holds {len(records)} records "
+                    f"but the checkpoint was taken after "
+                    f"{checkpoint.journal_records} — mismatched pair"
+                )
+            sim._journal = journal
+            sim._owns_journal = True
+            sim._replay_records = records[checkpoint.journal_records:]
+        if verify_conservation:
+            gaps = sim._trace.conservation_gaps(
+                sim._offered,
+                remaining=sim._state.theta,
+                remaining_window=Interval(sim._state.t, sim._horizon),
+            )
+            if gaps:
+                raise CheckpointError(
+                    "conservation broken in restored state:\n  "
+                    + "\n  ".join(gaps)
+                )
+        sim._mid_run = True
+        return sim
+
+    def resume_run(self) -> SimulationReport:
+        """Continue a resumed run to its horizon; returns the full report
+        (pre-crash history included — the restored trace keeps growing)."""
+        if not self._mid_run:
+            raise SimulationError(
+                "resume_run() requires a simulator built by resume()"
+            )
+        self._mid_run = False
+        if self._journal is not None and self._journal_count == 0:
+            # The crashed run died before its header became durable.
+            self._journal_record(self._header_record())
+        return self._execute()
+
+    # ------------------------------------------------------------------
+    def _execute(self) -> SimulationReport:
+        state = self._state
+        horizon = self._horizon
+        records = self._records
+        consumed = self._consumed
+        trace = self._trace
 
         while state.t < horizon:
+            self._state = state
+            self._maybe_checkpoint()
+
             # 1. Instantaneous rules at the current instant.
             fault_causes: List[str] = []
             while self._events and self._events[0][0] <= state.t:
                 _, _, event = heapq.heappop(self._events)
+                self._journal_record(_event_journal_entry(event))
                 state = self._apply_event(
-                    event, state, records, tally_offered, trace, fault_causes
+                    event, state, records, self._tally_offered, trace,
+                    fault_causes,
                 )
 
             # 1b. Faults landed this instant: detect promise violations
@@ -304,7 +477,7 @@ class OpenSystemSimulator:
                 and trace.steps % self._invariant_interval == 0
             ):
                 gaps = trace.conservation_gaps(
-                    offered,
+                    self._offered,
                     remaining=state.theta,
                     remaining_window=Interval(state.t, horizon),
                 )
@@ -323,14 +496,162 @@ class OpenSystemSimulator:
                 self._abandon(record, trace, state.t)
 
         self._state = state
+        if self._owns_journal and self._journal is not None:
+            self._journal.close()
         return SimulationReport(
             policy_name=self._admission.name,
             records=list(records.values()),
-            offered=offered,
+            offered=self._offered,
             consumed=consumed,
             trace=trace,
             horizon=horizon,
         )
+
+    # ------------------------------------------------------------------
+    # Durability: offered tally, journaling, checkpoints
+    # ------------------------------------------------------------------
+    def _tally_offered(self, resources: ResourceSet) -> None:
+        for ltype in resources.located_types:
+            amount = resources.quantity(ltype, self._run_window)
+            if amount > 0:
+                self._offered[ltype] = self._offered.get(ltype, 0) + amount
+
+    def _configure_durability(
+        self,
+        journal: Union[str, Path, Journal, None],
+        checkpoint_every: int,
+        checkpoint_dir: Union[str, Path, CheckpointStore, None],
+        journal_fsync: bool,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise SimulationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every!r}"
+            )
+        self._checkpoint_every = int(checkpoint_every)
+        self._checkpoint_store = None
+        if checkpoint_dir is not None:
+            self._checkpoint_store = (
+                checkpoint_dir
+                if isinstance(checkpoint_dir, CheckpointStore)
+                else CheckpointStore(checkpoint_dir)
+            )
+        elif checkpoint_every:
+            raise SimulationError("checkpoint_every requires checkpoint_dir")
+        self._journal = None
+        self._owns_journal = False
+        if journal is not None:
+            if isinstance(journal, Journal):
+                self._journal = journal
+            else:
+                # run() starts a fresh run, so a path journal starts
+                # empty; stale records from a previous run at the same
+                # path would otherwise poison a later resume's replay.
+                self._journal = Journal(
+                    journal, fsync=journal_fsync, truncate=True
+                )
+                self._owns_journal = True
+
+    def _header_record(self) -> dict:
+        return journal_header(
+            {
+                "policy": self._admission.name,
+                "horizon": time_to_wire(self._horizon),
+                "dt": time_to_wire(self._dt),
+                "start": time_to_wire(self._start_time),
+            }
+        )
+
+    @property
+    def _replaying(self) -> bool:
+        return self._replay_pos < len(self._replay_records)
+
+    def _journal_record(self, record: dict) -> None:
+        """WAL append — or, on a resumed run, verify the regenerated
+        record against the one the crashed run already acknowledged."""
+        if self._journal is None:
+            return
+        if self._replay_pos < len(self._replay_records):
+            expected = self._replay_records[self._replay_pos]
+            if expected != record:
+                raise CheckpointError(
+                    "resumed run diverged from the journal at record "
+                    f"{self._journal_count + 1}: journal pinned "
+                    f"{expected!r}, replay produced {record!r}"
+                )
+            self._replay_pos += 1
+        else:
+            self._journal.append(record)
+        self._journal_count += 1
+
+    def _journal_decision(
+        self,
+        context: str,
+        label: str,
+        now: Time,
+        decision: PolicyDecision,
+        *,
+        attempt: Optional[int] = None,
+    ) -> None:
+        if self._journal is None:
+            return
+        entry = {
+            "type": "decision",
+            "context": context,
+            "label": label,
+            "time": time_to_wire(now),
+            "admitted": bool(decision.admitted),
+            "reason": decision.reason,
+        }
+        if attempt is not None:
+            entry["attempt"] = attempt
+        self._journal_record(entry)
+
+    def _maybe_checkpoint(self, force: bool = False) -> None:
+        if self._checkpoint_store is None:
+            return
+        if self._replaying:
+            return  # these snapshots already exist from the crashed run
+        steps = self._trace.steps
+        if not force:
+            if not self._checkpoint_every:
+                return
+            if steps % self._checkpoint_every != 0:
+                return
+        if steps == self._last_checkpoint_step:
+            return
+        self._checkpoint_store.save(
+            SimulatorCheckpoint(
+                step=steps,
+                journal_records=self._journal_count,
+                sequence=sequence_value(),
+                payload=self._snapshot(),
+            )
+        )
+        self._last_checkpoint_step = steps
+
+    def _snapshot(self) -> bytes:
+        """The full simulator state, pickled: everything :meth:`resume`
+        needs to continue as if the process had never died."""
+        payload = {
+            "state": self._state,
+            "records": self._records,
+            "offered": self._offered,
+            "consumed": self._consumed,
+            "trace": self._trace,
+            "events": list(self._events),
+            "victims": self._victims,
+            "flagged": self._flagged,
+            "consumed_by_owner": self._consumed_by_owner,
+            "horizon": self._horizon,
+            "start_time": self._start_time,
+            "dt": self._dt,
+            "invariant_interval": self._invariant_interval,
+            "checkpoint_every": self._checkpoint_every,
+            "admission": self._admission,
+            "allocation": self._allocation,
+            "recovery": self._recovery,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
     # ------------------------------------------------------------------
     def _apply_event(
@@ -355,6 +676,7 @@ class OpenSystemSimulator:
                 if record is None or record.admitted:
                     continue
                 decision = self._admission.decide(requirement, state.t)
+                self._journal_decision("retry", label, state.t, decision)
                 if not decision.admitted:
                     continue
                 record.admitted = True
@@ -385,6 +707,7 @@ class OpenSystemSimulator:
             )
             records[label] = record
             decision = self._admission.decide(event.requirement, state.t)
+            self._journal_decision("arrival", label, state.t, decision)
             record.admitted = decision.admitted
             record.rejection_reason = decision.reason
             trace.note(
@@ -573,6 +896,9 @@ class OpenSystemSimulator:
         victim.attempts += 1
         record.recovery_attempts = victim.attempts
         decision = self._admission.decide(victim.residual, now)
+        self._journal_decision(
+            "recovery", record.label, now, decision, attempt=victim.attempts
+        )
         if decision.admitted:
             del self._victims[record.label]
             self._flagged.discard(record.label)
@@ -613,6 +939,28 @@ class OpenSystemSimulator:
             f"abandoned {record.label!r} after {record.recovery_attempts} "
             f"offers (salvaged {salvaged:g})",
         )
+
+
+def _event_journal_entry(event: Event) -> dict:
+    """The WAL record for one applied event.
+
+    Intentionally a summary, not the full wire form: replay re-executes
+    from the checkpointed heap, so the journal's job is pinning *which*
+    event took effect when, in a form stable under JSON round-trips.
+    """
+    entry = {
+        "type": "event",
+        "kind": type(event).__name__,
+        "time": time_to_wire(event.time),
+        "seq": event.seq,
+    }
+    label = getattr(event, "label", None)
+    if label:
+        entry["label"] = label
+    location = getattr(event, "location", None)
+    if location is not None:
+        entry["location"] = location.name
+    return entry
 
 
 def _resources_at(theta: ResourceSet, location: Node) -> ResourceSet:

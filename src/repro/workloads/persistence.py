@@ -8,14 +8,18 @@ so experiments can be shared as artifacts rather than as (seed, code
 version) pairs.
 
 One JSON object per line, tagged by event kind; times and quantities use
-the exact wire scalars of :mod:`repro.serialization`.
+the exact wire scalars of :mod:`repro.serialization`.  Records carry a
+``format_version`` so future readers can reject traces they do not
+understand, and path writes are atomic (temp file + fsync + rename, via
+:func:`repro.system.checkpoint.atomic_writer`) so a crash mid-save can
+never leave a torn, half-valid trace that replays as a shorter one.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, Iterable, Iterator, List, Union
+from typing import IO, Iterable, Iterator, List, Mapping, Union
 
 from repro.serialization import (
     SerializationError,
@@ -27,6 +31,7 @@ from repro.serialization import (
     time_to_wire,
 )
 from repro.resources.located_type import Node
+from repro.system.checkpoint import atomic_writer
 from repro.system.events import (
     ComputationArrivalEvent,
     ComputationLeaveEvent,
@@ -40,52 +45,88 @@ from repro.system.events import (
 
 PathLike = Union[str, Path]
 
+#: Version stamped on every wire record; bump on incompatible changes.
+EVENT_FORMAT_VERSION = 1
+
+#: Keys each event kind must carry (beyond the ``event`` tag itself).
+_REQUIRED_KEYS = {
+    "resource_join": ("time", "resources"),
+    "resource_revocation": ("time", "resources"),
+    "computation_arrival": ("time", "requirement"),
+    "computation_leave": ("time", "label"),
+    "node_crash": ("time", "location"),
+    "rate_degradation": ("time", "location", "factor"),
+}
+
 
 def event_to_wire(event: Event) -> dict:
     """One event as a JSON-safe dict."""
     if isinstance(event, ResourceJoinEvent):
-        return {
+        data = {
             "event": "resource_join",
             "time": time_to_wire(event.time),
             "resources": resource_set_to_wire(event.resources),
         }
-    if isinstance(event, ResourceRevocationEvent):
-        return {
+    elif isinstance(event, ResourceRevocationEvent):
+        data = {
             "event": "resource_revocation",
             "time": time_to_wire(event.time),
             "resources": resource_set_to_wire(event.resources),
         }
-    if isinstance(event, ComputationArrivalEvent):
-        return {
+    elif isinstance(event, ComputationArrivalEvent):
+        data = {
             "event": "computation_arrival",
             "time": time_to_wire(event.time),
             "label": event.label,
             "requirement": requirement_to_wire(event.requirement),
         }
-    if isinstance(event, ComputationLeaveEvent):
-        return {
+    elif isinstance(event, ComputationLeaveEvent):
+        data = {
             "event": "computation_leave",
             "time": time_to_wire(event.time),
             "label": event.label,
         }
-    if isinstance(event, NodeCrashEvent):
-        return {
+    elif isinstance(event, NodeCrashEvent):
+        data = {
             "event": "node_crash",
             "time": time_to_wire(event.time),
             "location": event.location.name,
         }
-    if isinstance(event, RateDegradationEvent):
-        return {
+    elif isinstance(event, RateDegradationEvent):
+        data = {
             "event": "rate_degradation",
             "time": time_to_wire(event.time),
             "location": event.location.name,
             "factor": time_to_wire(event.factor),
         }
-    raise SerializationError(f"unsupported event {event!r}")
+    else:
+        raise SerializationError(f"unsupported event {event!r}")
+    data["format_version"] = EVENT_FORMAT_VERSION
+    return data
 
 
 def event_from_wire(data: dict) -> Event:
+    if not isinstance(data, Mapping):
+        raise SerializationError(f"expected an event object, got {data!r}")
     kind = data.get("event")
+    if kind not in _REQUIRED_KEYS:
+        raise SerializationError(f"unknown event kind {kind!r}")
+    version = data.get("format_version", 1)  # unstamped = legacy v1
+    if not isinstance(version, int) or version < 1:
+        raise SerializationError(
+            f"{kind}: bad format_version {version!r}"
+        )
+    if version > EVENT_FORMAT_VERSION:
+        raise SerializationError(
+            f"{kind}: format_version {version} is newer than supported "
+            f"{EVENT_FORMAT_VERSION}; refusing to guess at its meaning"
+        )
+    missing = [key for key in _REQUIRED_KEYS[kind] if key not in data]
+    if missing:
+        raise SerializationError(
+            f"{kind} record is missing required key(s): "
+            + ", ".join(repr(key) for key in missing)
+        )
     time = time_from_wire(data["time"])
     if kind == "resource_join":
         return ResourceJoinEvent(
@@ -102,14 +143,12 @@ def event_from_wire(data: dict) -> Event:
             label=data.get("label", ""),
         )
     if kind == "computation_leave":
-        return ComputationLeaveEvent(time=time, label=data.get("label", ""))
+        return ComputationLeaveEvent(time=time, label=data["label"])
     if kind == "node_crash":
         return NodeCrashEvent(time=time, location=Node(data["location"]))
-    if kind == "rate_degradation":
-        return rate_degradation(
-            time, data["location"], time_from_wire(data["factor"])
-        )
-    raise SerializationError(f"unknown event kind {kind!r}")
+    return rate_degradation(
+        time, data["location"], time_from_wire(data["factor"])
+    )
 
 
 def save_events(events: Iterable[Event], destination: PathLike | IO[str]) -> int:
@@ -126,9 +165,23 @@ def save_events(events: Iterable[Event], destination: PathLike | IO[str]) -> int
 
     if hasattr(destination, "write"):
         return write(destination)  # type: ignore[arg-type]
-    with open(destination, "w") as handle:  # type: ignore[arg-type]
+    with atomic_writer(Path(destination)) as handle:  # type: ignore[arg-type]
         count = write(handle)
     return count
+
+
+def _parse_line(line: str, line_number: int) -> Event:
+    """Decode one trace line, naming the line in any failure."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"line {line_number}: invalid JSON"
+        ) from exc
+    try:
+        return event_from_wire(data)
+    except SerializationError as exc:
+        raise SerializationError(f"line {line_number}: {exc}") from exc
 
 
 def load_events(source: PathLike | IO[str]) -> List[Event]:
@@ -138,15 +191,8 @@ def load_events(source: PathLike | IO[str]) -> List[Event]:
         out: List[Event] = []
         for line_number, line in enumerate(handle, 1):
             line = line.strip()
-            if not line:
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise SerializationError(
-                    f"line {line_number}: invalid JSON"
-                ) from exc
-            out.append(event_from_wire(data))
+            if line:
+                out.append(_parse_line(line, line_number))
         return out
 
     if hasattr(source, "read"):
@@ -158,7 +204,7 @@ def load_events(source: PathLike | IO[str]) -> List[Event]:
 def iter_events(source: PathLike) -> Iterator[Event]:
     """Streaming variant of :func:`load_events` for very long traces."""
     with open(source) as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, 1):
             line = line.strip()
             if line:
-                yield event_from_wire(json.loads(line))
+                yield _parse_line(line, line_number)

@@ -1,0 +1,111 @@
+"""Kill-anywhere crash matrix: every interrupted run resumes identically.
+
+This is the durability subsystem's acceptance test.  One seeded faulty
+scenario (chosen so the recovery pipeline is genuinely exercised — a
+victim re-admitted after backoff and another abandoned) is killed at
+every journal-record boundary, mid-write (leaving a torn tail), and
+while writing a checkpoint; each resume must produce a
+``SimulationReport`` field-for-field identical to the uninterrupted run.
+Conservation (``offered = consumed + expired + lost``) is re-verified at
+the resume instant inside :meth:`OpenSystemSimulator.resume`.
+
+CI runs this file as its own job (see ``.github/workflows/ci.yml``); the
+full-stride matrix also runs in tier-1 because nothing else proves the
+interrupted-equals-uninterrupted contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import RotaAdmission
+from repro.faults import (
+    FaultPlan,
+    RecoveryPolicy,
+    chaos_crash_matrix,
+    faulty_scenario,
+)
+from repro.system import OpenSystemSimulator, ReservationPolicy
+from repro.workloads import volunteer_scenario
+
+
+def violating_scenario():
+    return faulty_scenario(
+        volunteer_scenario(7, nodes=4, horizon=60, session_rate=0.5),
+        FaultPlan(
+            seed=17, crash_rate=0.04, revocation_rate=0.5,
+            straggler_rate=0.04,
+        ),
+    )
+
+
+def simulator_factory(scenario):
+    def factory():
+        return OpenSystemSimulator(
+            RotaAdmission(),
+            initial_resources=scenario.initial_resources,
+            allocation_policy=ReservationPolicy(),
+            recovery=RecoveryPolicy(max_attempts=6),
+        )
+
+    return factory
+
+
+def test_scenario_exercises_recovery():
+    """Guard: the matrix below is only meaningful if promises break and
+    the backoff pipeline runs — both arms (recovered and abandoned)."""
+    scenario = violating_scenario()
+    simulator = simulator_factory(scenario)()
+    simulator.schedule(*scenario.events)
+    report = simulator.run(scenario.horizon)
+    assert report.trace.violations
+    assert report.recovered > 0
+    assert report.abandoned > 0
+
+
+def test_crash_matrix_every_point_resumes_identically(tmp_path):
+    """Full-stride matrix (every record boundary + every mid-write tear)
+    on a compact scenario that still breaks and recovers a promise."""
+    scenario = faulty_scenario(
+        volunteer_scenario(5, nodes=3, horizon=40, session_rate=0.6),
+        FaultPlan(
+            seed=17, crash_rate=0.02, revocation_rate=0.25,
+            straggler_rate=0.02,
+        ),
+    )
+    result = chaos_crash_matrix(
+        scenario,
+        simulator_factory(scenario),
+        tmp_path,
+        checkpoint_every=3,
+        boundary_stride=1,
+        mid_write=True,
+        checkpoint_crashes=2,
+    )
+    assert result.journal_records > 0
+    assert result.crashed_points, "budget never hit: matrix proved nothing"
+    for point in result.crashed_points:
+        assert point.identical, (
+            f"{point.kind}@{point.index} resumed from "
+            f"{point.resumed_from}: {point.detail}"
+        )
+    assert result.ok, result.summary()
+
+
+def test_crash_matrix_backoff_and_abandonment_grid(tmp_path):
+    """Second grid point, thinned stride: the scenario where both
+    recovery arms run (re-admitted after backoff *and* abandoned), so
+    crash points land mid-backoff.  Catches anything overfit to the
+    primary scenario's event order."""
+    scenario = violating_scenario()
+    result = chaos_crash_matrix(
+        scenario,
+        simulator_factory(scenario),
+        tmp_path,
+        checkpoint_every=5,
+        boundary_stride=5,
+        mid_write=True,
+        checkpoint_crashes=3,
+    )
+    assert result.crashed_points
+    assert result.ok, result.summary()

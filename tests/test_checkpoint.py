@@ -1,0 +1,312 @@
+"""Unit tests for the durability subsystem: write-ahead journal,
+checkpoints, atomic writes, and crash-resume semantics.
+
+The exhaustive kill-anywhere matrix lives in ``test_chaos_recovery.py``;
+these tests pin the artifact-level contracts — torn tails tolerated,
+prefix corruption fatal, version skew rejected, checksums enforced — and
+the two subtle resume properties: pending recovery backoffs fire at the
+same instants after a resume, and a journal that disagrees with the
+replayed decisions is detected, not overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.baselines import RotaAdmission
+from repro.errors import CheckpointError
+from repro.faults import FaultPlan, RecoveryPolicy, faulty_scenario
+from repro.faults.chaos import diff_fingerprints, report_fingerprint
+from repro.system import OpenSystemSimulator, ReservationPolicy
+from repro.system.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    JOURNAL_FORMAT_VERSION,
+    CheckpointStore,
+    Journal,
+    SimulatorCheckpoint,
+    atomic_writer,
+    check_journal_header,
+    journal_header,
+    latest_checkpoint,
+)
+from repro.system.events import RecoveryOfferEvent
+from repro.workloads import volunteer_scenario
+
+RECORDS = [
+    {"type": "event", "kind": "ResourceJoinEvent", "time": 0, "seq": 1},
+    {"type": "decision", "label": "j1", "admitted": True},
+    {"type": "event", "kind": "ComputationLeaveEvent", "time": 5, "seq": 2},
+]
+
+
+def write_journal(path, records=RECORDS):
+    with Journal(path) as journal:
+        for record in records:
+            journal.append(record)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+
+class TestJournal:
+    def test_round_trip_preserves_order(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        records, valid_end = Journal.scan(path)
+        assert records == RECORDS
+        assert valid_end == path.stat().st_size
+
+    def test_append_counts(self, tmp_path):
+        with Journal(tmp_path / "j.jsonl") as journal:
+            assert journal.append({"a": 1}) == 1
+            assert journal.append({"a": 2}) == 2
+            assert journal.count == 2
+
+    def test_unterminated_tail_dropped(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        intact = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b'{"crc": 123, "data": {"torn":')  # no newline
+        records, valid_end = Journal.scan(path)
+        assert records == RECORDS
+        assert valid_end == intact
+
+    def test_bit_flip_in_final_record_dropped(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        raw = path.read_bytes()
+        lines = raw.rstrip(b"\n").split(b"\n")
+        last = lines[-1].replace(b"ComputationLeaveEvent", b"Xomputation")
+        path.write_bytes(b"\n".join([*lines[:-1], last]) + b"\n")
+        records, _ = Journal.scan(path)
+        assert records == RECORDS[:-1]  # tail is the crash's signature
+
+    def test_bit_flip_before_tail_raises(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        raw = path.read_bytes()
+        lines = raw.rstrip(b"\n").split(b"\n")
+        lines[0] = lines[0].replace(b"ResourceJoinEvent", b"Xesource")
+        path.write_bytes(b"\n".join(lines) + b"\n")
+        with pytest.raises(CheckpointError, match="record 1 .*before the tail"):
+            Journal.scan(path)
+
+    def test_for_resume_truncates_and_continues(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl")
+        with open(path, "ab") as handle:
+            handle.write(b"torn garbage with no newline")
+        journal, records = Journal.for_resume(path)
+        assert records == RECORDS
+        assert journal.count == len(RECORDS)
+        journal.append({"type": "event", "kind": "later"})
+        journal.close()
+        records, _ = Journal.scan(path)
+        assert len(records) == len(RECORDS) + 1  # garbage gone, append clean
+
+    def test_header_version_gate(self, tmp_path):
+        header = journal_header({"policy": "rota"})
+        assert header["format_version"] == JOURNAL_FORMAT_VERSION
+        check_journal_header(header, "j.jsonl")  # current version passes
+        with pytest.raises(CheckpointError, match="newer than supported"):
+            check_journal_header({**header, "format_version": 2}, "j.jsonl")
+        with pytest.raises(CheckpointError, match="journal_header"):
+            check_journal_header({"type": "event"}, "j.jsonl")
+        with pytest.raises(CheckpointError, match="format_version"):
+            check_journal_header({**header, "format_version": "x"}, "j")
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+def make_checkpoint(step=3):
+    payload = pickle.dumps({"state": "something"})
+    return SimulatorCheckpoint(
+        step=step, journal_records=7, sequence=42, payload=payload
+    )
+
+
+class TestCheckpoint:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        make_checkpoint().save(path)
+        loaded = SimulatorCheckpoint.load(path)
+        assert loaded == make_checkpoint()
+        assert loaded.restore_state() == {"state": "something"}
+
+    def test_checksum_corruption_detected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        make_checkpoint().save(path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"] = envelope["payload"][:-8] + "AAAAAAA="
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            SimulatorCheckpoint.load(path)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        make_checkpoint().save(path)
+        envelope = json.loads(path.read_text())
+        envelope["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="newer than supported"):
+            SimulatorCheckpoint.load(path)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("definitely not json {")
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            SimulatorCheckpoint.load(path)
+        path.write_text('{"magic": "wrong"}')
+        with pytest.raises(CheckpointError, match="magic"):
+            SimulatorCheckpoint.load(path)
+
+    def test_store_latest_skips_corrupt_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(make_checkpoint(step=1))
+        newest = store.save(make_checkpoint(step=2))
+        newest.write_text(newest.read_text()[:40])  # torn somehow
+        assert store.latest() == store.path_for(1)
+
+    def test_latest_checkpoint_missing_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path / "nowhere") is None
+
+
+class TestAtomicWriter:
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("previous")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as handle:
+                handle.write("half of the new cont")
+                raise RuntimeError("crash")
+        assert path.read_text() == "previous"
+        assert list(tmp_path.iterdir()) == [path]  # temp file cleaned up
+
+    def test_success_replaces(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("previous")
+        with atomic_writer(path) as handle:
+            handle.write("new")
+        assert path.read_text() == "new"
+
+
+# ----------------------------------------------------------------------
+# Crash-resume semantics on a real simulation
+# ----------------------------------------------------------------------
+
+def chaos_scenario():
+    # Chosen so the run exercises the whole recovery pipeline: one victim
+    # re-admitted after backoff, one abandoned after exhausting attempts.
+    return faulty_scenario(
+        volunteer_scenario(7, nodes=4, horizon=60, session_rate=0.5),
+        FaultPlan(
+            seed=17, crash_rate=0.04, revocation_rate=0.5,
+            straggler_rate=0.04,
+        ),
+    )
+
+
+def make_simulator(scenario):
+    return OpenSystemSimulator(
+        RotaAdmission(),
+        initial_resources=scenario.initial_resources,
+        allocation_policy=ReservationPolicy(),
+        recovery=RecoveryPolicy(max_attempts=6),
+    )
+
+
+class TestResume:
+    def test_resume_mid_backoff_is_deterministic(self, tmp_path):
+        """A checkpoint taken while a recovery offer is pending in the
+        heap must restore it to fire at the same instant: the resumed
+        report is field-for-field identical to the uninterrupted run."""
+        scenario = chaos_scenario()
+        plain = make_simulator(scenario)
+        plain.schedule(*scenario.events)
+        truth_report = plain.run(scenario.horizon)
+        assert truth_report.violations, "scenario must exercise recovery"
+        truth = report_fingerprint(truth_report)
+
+        full = make_simulator(scenario)
+        full.schedule(*scenario.events)
+        full.run(
+            scenario.horizon,
+            checkpoint_every=1,
+            checkpoint_dir=tmp_path,
+            journal=tmp_path / "journal.jsonl",
+        )
+
+        mid_backoff = [
+            path
+            for path in sorted(tmp_path.glob("ckpt-*.json"))
+            if any(
+                isinstance(event, RecoveryOfferEvent)
+                for _, _, event in SimulatorCheckpoint.load(path)
+                .restore_state()["events"]
+            )
+        ]
+        assert mid_backoff, "no checkpoint caught a pending backoff offer"
+
+        for path in mid_backoff:
+            resumed = OpenSystemSimulator.resume(
+                path, tmp_path / "journal.jsonl", checkpoint_dir=tmp_path
+            )
+            fingerprint = report_fingerprint(resumed.resume_run())
+            assert fingerprint == truth, (
+                f"resume from {path.name} diverged: "
+                f"{diff_fingerprints(truth, fingerprint)}"
+            )
+
+    def test_tampered_journal_decision_detected(self, tmp_path):
+        """Promises are replayed, never re-decided: a journal whose
+        pinned decision disagrees with the deterministic replay is an
+        error, not something to silently rewrite."""
+        scenario = chaos_scenario()
+        simulator = make_simulator(scenario)
+        simulator.schedule(*scenario.events)
+        simulator.run(
+            scenario.horizon,
+            checkpoint_every=10,
+            checkpoint_dir=tmp_path,
+            journal=tmp_path / "journal.jsonl",
+        )
+        records, _ = Journal.scan(tmp_path / "journal.jsonl")
+        index, tampered = next(
+            (i, dict(r))
+            for i, r in enumerate(records)
+            if r.get("type") == "decision"
+        )
+        tampered["admitted"] = not tampered["admitted"]
+        records[index] = tampered
+        (tmp_path / "journal.jsonl").unlink()
+        write_journal(tmp_path / "journal.jsonl", records)
+
+        first = sorted(tmp_path.glob("ckpt-*.json"))[0]
+        resumed = OpenSystemSimulator.resume(
+            first, tmp_path / "journal.jsonl", checkpoint_dir=tmp_path
+        )
+        with pytest.raises(CheckpointError, match="diverged"):
+            resumed.resume_run()
+
+    def test_journal_shorter_than_checkpoint_rejected(self, tmp_path):
+        """A checkpoint that acknowledges more records than the journal
+        holds cannot belong to that journal."""
+        scenario = chaos_scenario()
+        simulator = make_simulator(scenario)
+        simulator.schedule(*scenario.events)
+        simulator.run(
+            scenario.horizon,
+            checkpoint_every=5,
+            checkpoint_dir=tmp_path,
+            journal=tmp_path / "journal.jsonl",
+        )
+        last = sorted(tmp_path.glob("ckpt-*.json"))[-1]
+        records, _ = Journal.scan(tmp_path / "journal.jsonl")
+        kept = records[: SimulatorCheckpoint.load(last).journal_records // 2]
+        (tmp_path / "journal.jsonl").unlink()
+        write_journal(tmp_path / "journal.jsonl", kept)
+        with pytest.raises(CheckpointError, match="journal"):
+            OpenSystemSimulator.resume(last, tmp_path / "journal.jsonl")

@@ -108,6 +108,79 @@ class TestFileRoundTrip:
         with pytest.raises(SerializationError, match="line 1"):
             load_events(path)
 
+    def test_iter_events_names_the_corrupt_line(self, tmp_path, cpu1):
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events(cpu1)[:2], path)
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(SerializationError, match="line 3"):
+            list(iter_events(path))
+
+    def test_load_events_names_line_of_semantic_error(self, tmp_path, cpu1):
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events(cpu1)[:1], path)
+        with open(path, "a") as handle:
+            handle.write('{"event": "node_crash", "time": 3}\n')
+        with pytest.raises(SerializationError, match="line 2.*location"):
+            load_events(path)
+
+    def test_save_to_path_is_atomic(self, tmp_path, cpu1):
+        """A failing save must leave the previous trace untouched."""
+        path = tmp_path / "trace.jsonl"
+        save_events(sample_events(cpu1)[:2], path)
+        before = path.read_text()
+        with pytest.raises(SerializationError):
+            save_events([*sample_events(cpu1), object()], path)
+        assert path.read_text() == before
+        assert list(tmp_path.iterdir()) == [path]  # no stray temp file
+
+
+class TestWireValidation:
+    def test_missing_time_is_serialization_error(self):
+        # Regression: this used to escape as a bare KeyError.
+        with pytest.raises(SerializationError, match="time"):
+            event_from_wire({"event": "computation_leave", "label": "j1"})
+
+    def test_missing_required_keys_named_per_kind(self):
+        with pytest.raises(SerializationError, match="factor"):
+            event_from_wire(
+                {"event": "rate_degradation", "time": 1, "location": "l1"}
+            )
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SerializationError):
+            event_from_wire(["resource_join", 0])  # type: ignore[arg-type]
+
+    def test_records_carry_format_version(self, cpu1):
+        for event in sample_events(cpu1):
+            assert event_to_wire(event)["format_version"] == 1
+
+    def test_unstamped_records_read_as_v1(self):
+        data = {"event": "computation_leave", "time": 2, "label": "j1"}
+        assert event_from_wire(data).label == "j1"
+
+    def test_future_format_version_rejected(self):
+        with pytest.raises(SerializationError, match="format_version 99"):
+            event_from_wire(
+                {
+                    "event": "computation_leave",
+                    "time": 2,
+                    "label": "j1",
+                    "format_version": 99,
+                }
+            )
+
+    def test_garbage_format_version_rejected(self):
+        with pytest.raises(SerializationError, match="format_version"):
+            event_from_wire(
+                {
+                    "event": "computation_leave",
+                    "time": 2,
+                    "label": "j1",
+                    "format_version": "two",
+                }
+            )
+
 
 class TestReplayFidelity:
     @pytest.mark.parametrize("factory", [cloud_scenario, volunteer_scenario])
