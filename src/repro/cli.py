@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 from repro.analysis import policy_table, score
@@ -131,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir/<policy>/ instead of starting fresh "
         "(requires a single explicit --policy)",
     )
+    _add_metrics_flags(scenario)
 
     check = sub.add_parser("check", help="one-shot admission check from JSON")
     check.add_argument(
@@ -161,7 +163,62 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[cls.name for cls in ALL_POLICIES],
         default="rota",
     )
+    _add_metrics_flags(replay)
     return parser
+
+
+def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "observability",
+        "runtime metrics and span timings (repro.observability)",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a metrics snapshot (counters, histograms, span "
+        "timing trees) to PATH after the run",
+    )
+    group.add_argument(
+        "--metrics-format", choices=["jsonl", "prom"], default=None,
+        help="metrics dump format: jsonl (lossless, spans included) or "
+        "prom (Prometheus text exposition); default jsonl "
+        "(requires --metrics-out)",
+    )
+
+
+def _check_metrics_flags(args: argparse.Namespace) -> str | None:
+    """Flag-interaction validation shared by scenario and replay."""
+    if args.metrics_format is not None and args.metrics_out is None:
+        return (
+            "--metrics-format selects the dump format for --metrics-out; "
+            "pass --metrics-out PATH or drop --metrics-format"
+        )
+    return None
+
+
+@contextmanager
+def _metrics_session(args: argparse.Namespace):
+    """Install a live registry for the run when ``--metrics-out`` asks
+    for one (the default registry is a no-op), and dump the snapshot —
+    even on failure, so a crashed run still leaves its partial metrics."""
+    from repro.observability import (
+        MetricsRegistry,
+        use_registry,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    if args.metrics_out is None:
+        yield
+        return
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            yield
+    finally:
+        if (args.metrics_format or "jsonl") == "prom":
+            write_prometheus(registry.snapshot(), args.metrics_out)
+        else:
+            write_jsonl(registry.snapshot(), args.metrics_out)
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -180,9 +237,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     if args.resume and args.checkpoint_dir is None:
         print(
-            "error: --resume needs --checkpoint-dir to find the checkpoint",
+            "error: --resume restores a run from its durable artifacts; "
+            "pass --checkpoint-dir DIR to say where they live, or drop "
+            "--resume to start fresh",
             file=sys.stderr,
         )
+        return 2
+    metrics_error = _check_metrics_flags(args)
+    if metrics_error is not None:
+        print(f"error: {metrics_error}", file=sys.stderr)
         return 2
     factory = SCENARIOS[args.name]
     scenario = factory(args.seed) if args.seed is not None else factory()
@@ -206,47 +269,50 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     )
     rows = []
     fault_lines = []
-    for cls in chosen:
-        policy = cls()
-        allocation = (
-            ReservationPolicy() if isinstance(policy, RotaAdmission) else None
-        )
-        durable: dict = {}
-        if args.checkpoint_dir is not None and not args.resume:
-            policy_dir = Path(args.checkpoint_dir) / cls.name
-            policy_dir.mkdir(parents=True, exist_ok=True)
-            # A fresh run starts fresh artifacts: checkpoints from an
-            # earlier run at higher step numbers would otherwise shadow
-            # this run's snapshots on a later --resume.
-            for stale in policy_dir.glob("ckpt-*.json"):
-                stale.unlink()
-            durable = {
-                "checkpoint_every": args.checkpoint_every,
-                "checkpoint_dir": policy_dir,
-                "journal": policy_dir / "journal.jsonl",
-            }
-        try:
-            if args.resume:
-                report = _resume_scenario(Path(args.checkpoint_dir), cls.name)
-            else:
-                simulator = OpenSystemSimulator(
-                    policy,
-                    initial_resources=scenario.initial_resources,
-                    allocation_policy=allocation,
-                    recovery=recovery,
-                )
-                simulator.schedule(*scenario.events)
-                report = simulator.run(scenario.horizon, **durable)
-        except CheckpointError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        rows.append(score(report))
-        if not plan.is_benign:
-            fault_lines.append(
-                f"  {report.policy_name}: "
-                f"violations={len(report.violations)} "
-                f"recovered={report.recovered} abandoned={report.abandoned}"
+    with _metrics_session(args):
+        for cls in chosen:
+            policy = cls()
+            allocation = (
+                ReservationPolicy() if isinstance(policy, RotaAdmission) else None
             )
+            durable: dict = {}
+            if args.checkpoint_dir is not None and not args.resume:
+                policy_dir = Path(args.checkpoint_dir) / cls.name
+                policy_dir.mkdir(parents=True, exist_ok=True)
+                # A fresh run starts fresh artifacts: checkpoints from an
+                # earlier run at higher step numbers would otherwise shadow
+                # this run's snapshots on a later --resume.
+                for stale in policy_dir.glob("ckpt-*.json"):
+                    stale.unlink()
+                durable = {
+                    "checkpoint_every": args.checkpoint_every,
+                    "checkpoint_dir": policy_dir,
+                    "journal": policy_dir / "journal.jsonl",
+                }
+            try:
+                if args.resume:
+                    report = _resume_scenario(
+                        Path(args.checkpoint_dir), cls.name
+                    )
+                else:
+                    simulator = OpenSystemSimulator(
+                        policy,
+                        initial_resources=scenario.initial_resources,
+                        allocation_policy=allocation,
+                        recovery=recovery,
+                    )
+                    simulator.schedule(*scenario.events)
+                    report = simulator.run(scenario.horizon, **durable)
+            except CheckpointError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            rows.append(score(report))
+            if not plan.is_benign:
+                fault_lines.append(
+                    f"  {report.policy_name}: "
+                    f"violations={len(report.violations)} "
+                    f"recovered={report.recovered} abandoned={report.abandoned}"
+                )
     print(policy_table(rows, title=f"scenario={scenario.name}"))
     if fault_lines:
         print("promise violations under faults:")
@@ -319,6 +385,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.resources import ResourceSet
     from repro.workloads.persistence import load_events
 
+    metrics_error = _check_metrics_flags(args)
+    if metrics_error is not None:
+        print(f"error: {metrics_error}", file=sys.stderr)
+        return 2
     if args.resources is not None:
         with open(args.resources) as handle:
             initial = resource_set_from_wire(json.load(handle))
@@ -327,11 +397,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     policy_cls = next(cls for cls in ALL_POLICIES if cls.name == args.policy)
     policy = policy_cls()
     allocation = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
-    simulator = OpenSystemSimulator(
-        policy, initial_resources=initial, allocation_policy=allocation
-    )
-    simulator.schedule(*load_events(args.trace))
-    report = simulator.run(args.horizon)
+    with _metrics_session(args):
+        simulator = OpenSystemSimulator(
+            policy, initial_resources=initial, allocation_policy=allocation
+        )
+        simulator.schedule(*load_events(args.trace))
+        report = simulator.run(args.horizon)
     print(policy_table([score(report)], title=f"replay of {args.trace}"))
     return 0
 

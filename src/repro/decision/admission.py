@@ -34,6 +34,7 @@ from repro.decision.schedule import ConcurrentSchedule, Schedule
 from repro.decision.sequential import find_schedule
 from repro.errors import TransitionError, UndefinedOperationError
 from repro.intervals.interval import Time
+from repro.observability import get_registry
 from repro.resources.resource_set import ResourceSet
 from repro.resources.term import ResourceTerm
 
@@ -151,8 +152,20 @@ class AdmissionController:
         if self._mutations_since_check >= self._slack_check_interval:
             self._mutations_since_check = 0
             reference = self.reference_slack()
+            registry = get_registry()
             if self._slack != reference:
                 self._slack = reference
+                registry.counter(
+                    "rota_slack_cache_checks_total",
+                    "incremental-slack invalidation checks by result",
+                    labels=("result",),
+                ).inc(result="miss")
+            else:
+                registry.counter(
+                    "rota_slack_cache_checks_total",
+                    "incremental-slack invalidation checks by result",
+                    labels=("result",),
+                ).inc(result="hit")
 
     @property
     def admitted_labels(self) -> tuple[str, ...]:
@@ -258,24 +271,37 @@ class AdmissionController:
         requirement = _as_concurrent(requirement)
         label = _requirement_label(requirement)
         if requirement.deadline <= self._now:
-            return AdmissionDecision(
+            decision = AdmissionDecision(
                 False, label, reason="deadline has already passed (t >= d)"
             )
+            _count_decision(decision, "deadline-passed")
+            return decision
         effective = requirement
         if requirement.start < self._now:
             # The computation cannot consume resources in the past; clip
             # its window to (now, d).
             effective = _clip_start(requirement, self._now)
+        registry = get_registry()
+        started = registry.now() if registry.enabled else 0.0
         schedule = find_concurrent_schedule(
             self.expiring_slack, effective, exhaustive=exhaustive, align=self._align
         )
+        if registry.enabled:
+            registry.histogram(
+                "rota_admission_check_seconds",
+                "Theorem-4 slack-check latency (find_concurrent_schedule)",
+            ).observe(registry.now() - started)
         if schedule is None:
-            return AdmissionDecision(
+            decision = AdmissionDecision(
                 False,
                 label,
                 reason="expiring slack cannot satisfy the complex requirement",
             )
-        return AdmissionDecision(True, label, schedule=schedule)
+            _count_decision(decision, "insufficient-slack")
+            return decision
+        decision = AdmissionDecision(True, label, schedule=schedule)
+        _count_decision(decision, "")
+        return decision
 
     def admit(
         self,
@@ -317,6 +343,22 @@ class AdmissionController:
         self._slack = self._slack | consumption
         self._slack_mutated()
         del self._schedules[label]
+
+
+def _count_decision(decision: AdmissionDecision, reason_key: str) -> None:
+    """Tally one Theorem-4 verdict (reasons as a compact label vocabulary,
+    not the human-readable sentences, to keep series cardinality fixed)."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "rota_admission_decisions_total",
+        "Theorem-4 admission verdicts by outcome and refusal reason",
+        labels=("outcome", "reason"),
+    ).inc(
+        outcome="admitted" if decision.admitted else "refused",
+        reason=reason_key,
+    )
 
 
 def _as_concurrent(

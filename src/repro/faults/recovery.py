@@ -29,6 +29,11 @@ from dataclasses import dataclass, field
 from repro.baselines.retry import ExponentialBackoff
 from repro.errors import RecoveryError
 from repro.intervals.interval import Time
+from repro.observability import get_registry
+
+#: Backoff delays are simulation-time units (powers of the backoff base),
+#: not wall seconds; bucket on the exponential ladder.
+_BACKOFF_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 @dataclass(frozen=True)
@@ -51,4 +56,12 @@ class RecoveryPolicy:
 
     def next_offer_delay(self, attempts_done: int) -> Time:
         """Delay until the next re-offer after ``attempts_done`` failures."""
-        return self.backoff.delay(max(0, attempts_done - 1))
+        delay = self.backoff.delay(max(0, attempts_done - 1))
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "recovery_backoff_delay",
+                "scheduled re-offer backoff delays (simulation-time units)",
+                buckets=_BACKOFF_BUCKETS,
+            ).observe(float(delay))
+        return delay

@@ -1,0 +1,74 @@
+"""Runtime observability: metrics, spans, and profiling hooks.
+
+ROTA's value proposition is deciding *ahead of time* whether a deadline
+can be met; this package records what the running system *actually saw*
+while keeping those promises — admissions and refusals by reason, how
+long Theorem-4 checks take under load, where recovery and durability
+time goes.  Alechina & Logan's diminishing-resource logics motivate
+treating production/consumption counters as first-class model state, and
+van Glabbeek's reactive temporal logic stresses that open-system
+guarantees are only as good as the observed environment behaviour; the
+metric families here are that observed record.
+
+Design constraints (enforced by tests and a CI lint):
+
+* **zero dependencies** — nothing here imports from ``repro.system``,
+  ``repro.decision``, or any other instrumented package.  Instrumented
+  code depends on observability, never the reverse;
+* **no-op by default** — the process-global registry starts as a
+  :class:`NullRegistry`, so uninstrumented callers pay only a dict
+  lookup and an attribute check per hook (benchmarked at <= 5% overhead
+  even with a live registry, see ``bench_observability_overhead.py``);
+* **determinism-neutral** — timing data never enters journal records,
+  checkpoint envelopes, or replay-verified state, so a metrics-enabled
+  run produces byte-identical durability artifacts to a disabled one.
+
+Typical use::
+
+    from repro.observability import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        report = simulator.run(horizon)
+    write_jsonl(registry.snapshot(), "metrics.jsonl")
+"""
+
+from repro.observability.metrics import (
+    BoundCounter,
+    BoundHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+    PhaseTimer,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.observability.spans import SpanRecord
+from repro.observability.export import (
+    render_prometheus,
+    write_jsonl,
+    write_prometheus,
+)
+
+__all__ = [
+    "BoundCounter",
+    "BoundHistogram",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "PhaseTimer",
+    "SpanRecord",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "render_prometheus",
+    "write_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,113 @@
+"""Snapshot exporters: JSONL and Prometheus text exposition format.
+
+Both operate on the JSON-ready structure from
+:meth:`~repro.observability.metrics.MetricsRegistry.snapshot`, so they
+need no live registry and can render snapshots captured elsewhere (e.g.
+the one a :class:`~repro.system.simulator.SimulationReport` carries).
+
+* **JSONL** — one line per metric family plus one line per span root;
+  lossless (buckets, spans, helps all survive) and greppable.
+* **Prometheus** — the standard ``/metrics`` text format, dumped to a
+  file: ``# HELP`` / ``# TYPE`` headers, escaped label values,
+  cumulative ``le`` buckets with ``_sum`` / ``_count``.  Span trees have
+  no Prometheus representation and are omitted (use JSONL for those).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(snapshot: Mapping[str, Any], path: PathLike) -> Path:
+    """Dump a snapshot as JSONL: metric families first, span roots after."""
+    path = Path(path)
+    lines: List[str] = []
+    for family in snapshot.get("metrics", []):
+        lines.append(json.dumps({"record": "metric", **family}, sort_keys=True))
+    for root in snapshot.get("spans", []):
+        lines.append(json.dumps({"record": "span", **root}, sort_keys=True))
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_block(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _render_family(family: Mapping[str, Any]) -> List[str]:
+    name = family["name"]
+    kind = family["kind"]
+    lines = []
+    if family.get("help"):
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+    lines.append(f"# TYPE {name} {kind}")
+    for series in family.get("series", []):
+        labels: Dict[str, str] = dict(series.get("labels", {}))
+        if kind == "histogram":
+            bounds = list(series["buckets"]) + [math.inf]
+            running = 0
+            for bound, count in zip(bounds, series["counts"]):
+                running += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_value(float(bound))
+                lines.append(
+                    f"{name}_bucket{_label_block(bucket_labels)} {running}"
+                )
+            lines.append(
+                f"{name}_sum{_label_block(labels)} "
+                f"{_format_value(series['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_label_block(labels)} {series['count']}"
+            )
+        else:
+            lines.append(
+                f"{name}{_label_block(labels)} "
+                f"{_format_value(series['value'])}"
+            )
+    return lines
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """The snapshot's metric families in Prometheus text format."""
+    lines: List[str] = []
+    for family in snapshot.get("metrics", []):
+        lines.extend(_render_family(family))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(snapshot: Mapping[str, Any], path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(render_prometheus(snapshot))
+    return path

@@ -1,0 +1,102 @@
+"""Wall-clock span trees: nested, exact (monotonic-clock) timings.
+
+A span measures one named region of execution; spans opened while
+another is active become its children, so one run yields a tree showing
+where the time went — e.g. ``run`` → per-slice ``offer`` / ``claim`` /
+``expire`` / ``recover`` phases.  Durations come from the owning
+registry's monotonic clock and never feed back into simulation state:
+they are measurements *about* the run, not part of it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class SpanRecord:
+    """One completed (or still-open) timed region.
+
+    A ``__slots__`` class rather than a dataclass: one is allocated per
+    phase per slice, inside the <=5% instrumentation budget (E19).
+    """
+
+    __slots__ = ("name", "start", "end", "error", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        end: Optional[float] = None,
+        error: bool = False,
+        children: Optional[List["SpanRecord"]] = None,
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end = end
+        #: the region exited via an exception (recorded, then re-raised)
+        self.error = error
+        self.children: List["SpanRecord"] = (
+            [] if children is None else children
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanRecord(name={self.name!r}, start={self.start!r}, "
+            f"end={self.end!r}, error={self.error!r}, "
+            f"children={len(self.children)})"
+        )
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form, recursively including children."""
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "error": self.error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class SpanContext:
+    """Context manager binding a :class:`SpanRecord` to a registry's
+    span stack.  Exceptions unwind the stack exactly like normal exits —
+    the span is closed, flagged ``error``, and the exception propagates."""
+
+    __slots__ = ("_registry", "_name", "_record")
+
+    def __init__(self, registry, name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> SpanRecord:
+        self._record = self._registry._open_span(self._name)
+        return self._record
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        assert self._record is not None
+        self._registry._close_span(self._record, error=exc_type is not None)
+        return False  # never swallow the exception
+
+
+class NullSpanContext:
+    """The no-op span: reusable singleton, no clock reads, no records."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpanContext()

@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import CheckpointError
+from repro.observability import get_registry
 
 PathLike = Union[str, Path]
 Opener = Callable[..., Any]
@@ -150,11 +151,21 @@ class Journal:
 
     def append(self, data: Dict[str, Any]) -> int:
         """Durably append one record *before* its effect is applied."""
+        registry = get_registry()
+        started = registry.now() if registry.enabled else 0.0
         self._handle.write(_encode_record(data))
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
         self._count += 1
+        if registry.enabled:
+            registry.histogram(
+                "journal_append_seconds",
+                "write-ahead journal append latency (encode+write+flush)",
+            ).observe(registry.now() - started)
+            registry.counter(
+                "journal_appends_total", "write-ahead journal records appended"
+            ).inc()
         return self._count
 
     def close(self) -> None:
@@ -212,16 +223,37 @@ class Journal:
     def for_resume(
         cls, path: PathLike, *, fsync: bool = False, opener: Opener = open
     ) -> Tuple["Journal", List[Dict[str, Any]]]:
-        """Open an existing journal for continuation after a crash.
+        """Open a journal for continuation after a crash.
 
         Scans the file, truncates the torn tail (if any), and returns the
         journal positioned at its end together with the valid records.
+
+        Three states of the file at ``path`` are *fresh*, not errors —
+        the crashed run died before its first append became durable:
+
+        * the file does not exist (death before the journal was opened),
+        * it exists but is zero-length (death before the header append),
+        * it holds only torn bytes of record 0 (death mid-header-append).
+
+        All three resume cleanly with zero acknowledged records; the
+        resumed run re-appends the header itself.  Corruption *behind*
+        acknowledged records still raises :class:`CheckpointError`.
         """
-        records, valid_end = cls.scan(path)
-        size = Path(path).stat().st_size
-        if valid_end < size:
-            os.truncate(path, valid_end)
+        registry = get_registry()
+        started = registry.now() if registry.enabled else 0.0
+        if not Path(path).exists():
+            records: List[Dict[str, Any]] = []
+        else:
+            records, valid_end = cls.scan(path)
+            size = Path(path).stat().st_size
+            if valid_end < size:
+                os.truncate(path, valid_end)
         journal = cls(path, fsync=fsync, opener=opener, _count=len(records))
+        if registry.enabled:
+            registry.histogram(
+                "journal_resume_scan_seconds",
+                "journal scan + torn-tail truncation time on resume",
+            ).observe(registry.now() - started)
         return journal, records
 
 
@@ -342,9 +374,24 @@ class SimulatorCheckpoint:
 
     def save(self, path: PathLike, *, opener: Opener = open) -> Path:
         path = Path(path)
+        registry = get_registry()
+        started = registry.now() if registry.enabled else 0.0
         with atomic_writer(path, opener=opener) as handle:
-            handle.write(self.to_json())
+            text = self.to_json()
+            handle.write(text)
             handle.write("\n")
+        if registry.enabled:
+            registry.histogram(
+                "checkpoint_write_seconds",
+                "atomic checkpoint write time (serialize+fsync+rename)",
+            ).observe(registry.now() - started)
+            registry.counter(
+                "checkpoint_bytes_written_total",
+                "bytes of checkpoint envelope written",
+            ).inc(len(text) + 1)
+            registry.counter(
+                "checkpoint_writes_total", "checkpoints written"
+            ).inc()
         return path
 
     @classmethod

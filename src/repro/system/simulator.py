@@ -39,6 +39,7 @@ from repro.errors import CheckpointError, SimulationError, TransitionError
 from repro.intervals.interval import Interval, Time
 from repro.logic.state import SystemState, initial_state
 from repro.logic.transitions import accommodate, acquire, leave, step
+from repro.observability import PhaseTimer, get_registry
 from repro.resources.located_type import LocatedType, Node
 from repro.resources.resource_set import ResourceSet
 from repro.serialization import time_to_wire
@@ -113,6 +114,10 @@ class SimulationReport:
     consumed: Dict[LocatedType, Time]
     trace: SimulationTrace
     horizon: Time
+    #: the process-global metrics registry's snapshot at run end, when a
+    #: live registry was installed (None under the default no-op one).
+    #: Pure observation: never journaled, checkpointed, or fingerprinted.
+    metrics: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -167,6 +172,44 @@ class SimulationReport:
             if record.label == label:
                 return record
         raise KeyError(f"no record for {label!r}")
+
+
+def _make_phase(registry, histogram):
+    """Per-run phase-timer factory: the live registry gets one reusable
+    :class:`~repro.observability.PhaseTimer` per phase name (a span in
+    the run's timing tree plus an observation in the per-phase latency
+    histogram — wall-clock only, never simulation state), the no-op
+    registry gets its shared null span (zero allocation)."""
+    if not registry.enabled:
+        return registry.span
+    timers: Dict[str, PhaseTimer] = {}
+
+    def phase(name: str) -> PhaseTimer:
+        timer = timers.get(name)
+        if timer is None:
+            timer = timers[name] = PhaseTimer(
+                registry, histogram.labels(phase=name), name
+            )
+        return timer
+
+    return phase
+
+
+def _metric_amount(quantity):
+    """``float(quantity)`` for metric samples, minus the dispatch tax.
+
+    Fractions reach ``float()`` through ``numbers.Rational.__float__``
+    (abstract-property lookups plus method dispatch), which is the
+    single largest per-sample cost in instrumented runs; ints and floats
+    need no conversion at all.  Yields bit-identical values to
+    ``float()``."""
+    kind = type(quantity)
+    if kind is int or kind is float:
+        return quantity
+    try:
+        return quantity._numerator / quantity._denominator
+    except AttributeError:
+        return float(quantity)
 
 
 @dataclass
@@ -283,6 +326,10 @@ class OpenSystemSimulator:
         self._replay_pos = 0
         self._journal_count = 0
         self._last_checkpoint_step = -1
+        # Per-run bound-series caches (observability): id()-keyed, so a
+        # fresh run must never inherit bindings from a previous one.
+        self._offered_series = None
+        self._lost_series = None
         self._tally_offered(self._state.theta)
         self._configure_durability(
             journal, checkpoint_every, checkpoint_dir, journal_fsync
@@ -316,8 +363,15 @@ class OpenSystemSimulator:
         re-verified at the restored instant before execution continues.
         Call :meth:`resume_run` on the result to finish the run.
         """
+        registry = get_registry()
+        restore_started = registry.now() if registry.enabled else 0.0
         checkpoint = SimulatorCheckpoint.load(checkpoint_path)
         payload = checkpoint.restore_state()
+        if registry.enabled:
+            registry.histogram(
+                "checkpoint_restore_seconds",
+                "checkpoint load + unpickle time on resume",
+            ).observe(registry.now() - restore_started)
         sim = cls.__new__(cls)
         sim._admission = payload["admission"]
         sim._allocation = payload["allocation"]
@@ -406,94 +460,172 @@ class OpenSystemSimulator:
         records = self._records
         consumed = self._consumed
         trace = self._trace
+        registry = get_registry()
+        # Null-registry instruments are shared no-op singletons, so the
+        # per-slice metric calls below cost nothing when disabled.
+        events_total = registry.counter(
+            "sim_events_applied_total",
+            "open-system events applied, by event kind",
+            labels=("kind",),
+        )
+        slices_total = registry.counter(
+            "sim_slices_total", "timed slices executed"
+        )
+        consumed_total = registry.counter(
+            "sim_consumed_quantity_total",
+            "resource quantity consumed, by located type",
+            labels=("ltype",),
+        )
+        expired_total = registry.counter(
+            "sim_expired_quantity_total",
+            "resource quantity expired unused, by located type",
+            labels=("ltype",),
+        )
+        phase_seconds = registry.histogram(
+            "sim_phase_seconds",
+            "wall-clock time per simulator phase per slice",
+            labels=("phase",),
+        )
+        phase = _make_phase(registry, phase_seconds)
+        instrumented = registry.enabled
+        slices_series = slices_total.labels()
+        # Per-sample label resolution (str(LocatedType) renders location
+        # + type names; event kinds repeat every slice) would dominate
+        # the instrumentation budget — bind each labeled series once and
+        # memoize the handles per run.  Keys are id()s: LocatedType's
+        # field-tuple hash is itself too hot for per-sample lookups, and
+        # equal ltypes bind to the same underlying series either way.
+        event_series: Dict[int, object] = {}
+        # Consumed/expired quantities arrive in per-slice bursts (every
+        # reservation leg of every slice); even a bound-series inc per
+        # entry is too hot.  Accumulate into plain [ltype, total] cells
+        # and flush into the counters once, after the loop.
+        consumed_acc: Dict[int, list] = {}
+        expired_acc: Dict[int, list] = {}
 
-        while state.t < horizon:
-            self._state = state
-            self._maybe_checkpoint()
+        with registry.span("simulator.run"):
+            while state.t < horizon:
+                self._state = state
+                self._maybe_checkpoint()
+                slices_series.inc()
 
-            # 1. Instantaneous rules at the current instant.
-            fault_causes: List[str] = []
-            while self._events and self._events[0][0] <= state.t:
-                _, _, event = heapq.heappop(self._events)
-                self._journal_record(_event_journal_entry(event))
-                state = self._apply_event(
-                    event, state, records, self._tally_offered, trace,
-                    fault_causes,
-                )
+                # 1. Instantaneous rules at the current instant.
+                fault_causes: List[str] = []
+                with phase("offer"):
+                    while self._events and self._events[0][0] <= state.t:
+                        _, _, event = heapq.heappop(self._events)
+                        kind = type(event)
+                        series = event_series.get(id(kind))
+                        if series is None:
+                            series = event_series[id(kind)] = (
+                                events_total.labels(kind=kind.__name__)
+                            )
+                        series.inc()
+                        self._journal_record(_event_journal_entry(event))
+                        state = self._apply_event(
+                            event, state, records, self._tally_offered,
+                            trace, fault_causes,
+                        )
 
-            # 1b. Faults landed this instant: detect promise violations
-            # and (when configured) route victims through recovery.
-            if fault_causes:
-                state = self._handle_violations(
-                    state, records, trace, fault_causes
-                )
+                # 1b. Faults landed this instant: detect promise violations
+                # and (when configured) route victims through recovery.
+                if fault_causes:
+                    with phase("recover"):
+                        state = self._handle_violations(
+                            state, records, trace, fault_causes
+                        )
 
-            # 2. One timed slice via the general transition rule.
-            allocations = self._allocation.allocate(state, self._dt)
-            transition = step(state, self._dt, allocations)
-            trace.record(transition)
-            for actor, ltype, quantity in transition.label.consumed:
-                consumed[ltype] = consumed.get(ltype, 0) + quantity
-                owner = actor.split("[")[0]
-                self._consumed_by_owner[owner] = self._consumed_by_owner.get(
-                    owner, 0.0
-                ) + float(quantity)
-            state = transition.target
-
-            # 3. Outcome bookkeeping.  A multi-actor arrival completes when
-            # every component completes; it misses when any component is
-            # still unfinished at the arrival's deadline.
-            for record in records.values():
-                if (
-                    not record.admitted
-                    or record.completed
-                    or record.missed
-                    or record.abandoned
-                ):
-                    continue
-                if record.label in self._victims:
-                    # Awaiting re-admission; give up at the deadline.
-                    if state.t >= record.window.end:
-                        self._abandon(record, trace, state.t)
-                    continue
-                components = [
-                    p
-                    for p in state.rho
-                    if p.label == record.label
-                    or p.label.startswith(record.label + "[")
-                ]
-                if not components:
-                    continue
-                if all(p.is_complete for p in components):
-                    record.completed = True
-                    record.finish_time = state.t
-                elif state.t >= record.window.end:
-                    record.missed = True
-
-            # 4. Optional runtime invariant check: the extended
-            # conservation identity must hold at every sampled instant.
-            if (
-                self._invariant_interval
-                and trace.steps % self._invariant_interval == 0
-            ):
-                gaps = trace.conservation_gaps(
-                    self._offered,
-                    remaining=state.theta,
-                    remaining_window=Interval(state.t, horizon),
-                )
-                if gaps:
-                    raise SimulationError(
-                        "conservation broken mid-run at t="
-                        f"{state.t}:\n  " + "\n  ".join(gaps)
+                # 2. One timed slice via the general transition rule.
+                with phase("claim"):
+                    allocations = self._allocation.allocate(state, self._dt)
+                    transition = step(state, self._dt, allocations)
+                trace.record(transition)
+                for actor, ltype, quantity in transition.label.consumed:
+                    consumed[ltype] = consumed.get(ltype, 0) + quantity
+                    amount = _metric_amount(quantity)
+                    owner = actor.split("[")[0]
+                    self._consumed_by_owner[owner] = (
+                        self._consumed_by_owner.get(owner, 0.0) + amount
                     )
+                    if instrumented:
+                        cell = consumed_acc.get(id(ltype))
+                        if cell is None:
+                            consumed_acc[id(ltype)] = [ltype, amount]
+                        else:
+                            cell[1] += amount
+                if instrumented:
+                    for ltype, quantity in transition.label.expired:
+                        cell = expired_acc.get(id(ltype))
+                        if cell is None:
+                            expired_acc[id(ltype)] = [
+                                ltype, _metric_amount(quantity)
+                            ]
+                        else:
+                            cell[1] += _metric_amount(quantity)
+                state = transition.target
 
-        # A victim still awaiting re-admission when the run ends is stuck
-        # by construction — it was evicted and holds no capacity — so
-        # graceful degradation settles it as abandoned, never "running".
-        for label in list(self._victims):
-            record = records.get(label)
-            if record is not None and not record.abandoned:
-                self._abandon(record, trace, state.t)
+                # 3. Outcome bookkeeping.  A multi-actor arrival completes
+                # when every component completes; it misses when any
+                # component is still unfinished at the arrival's deadline.
+                with phase("expire"):
+                    for record in records.values():
+                        if (
+                            not record.admitted
+                            or record.completed
+                            or record.missed
+                            or record.abandoned
+                        ):
+                            continue
+                        if record.label in self._victims:
+                            # Awaiting re-admission; give up at the deadline.
+                            if state.t >= record.window.end:
+                                self._abandon(record, trace, state.t)
+                            continue
+                        components = [
+                            p
+                            for p in state.rho
+                            if p.label == record.label
+                            or p.label.startswith(record.label + "[")
+                        ]
+                        if not components:
+                            continue
+                        if all(p.is_complete for p in components):
+                            record.completed = True
+                            record.finish_time = state.t
+                        elif state.t >= record.window.end:
+                            record.missed = True
+
+                # 4. Optional runtime invariant check: the extended
+                # conservation identity must hold at every sampled instant.
+                if (
+                    self._invariant_interval
+                    and trace.steps % self._invariant_interval == 0
+                ):
+                    gaps = trace.conservation_gaps(
+                        self._offered,
+                        remaining=state.theta,
+                        remaining_window=Interval(state.t, horizon),
+                    )
+                    if gaps:
+                        raise SimulationError(
+                            "conservation broken mid-run at t="
+                            f"{state.t}:\n  " + "\n  ".join(gaps)
+                        )
+
+            # A victim still awaiting re-admission when the run ends is
+            # stuck by construction — it was evicted and holds no capacity
+            # — so graceful degradation settles it as abandoned, never
+            # "running".
+            for label in list(self._victims):
+                record = records.get(label)
+                if record is not None and not record.abandoned:
+                    self._abandon(record, trace, state.t)
+
+        if instrumented:
+            for ltype, amount in consumed_acc.values():
+                consumed_total.labels(ltype=str(ltype)).inc(amount)
+            for ltype, amount in expired_acc.values():
+                expired_total.labels(ltype=str(ltype)).inc(amount)
 
         self._state = state
         if self._owns_journal and self._journal is not None:
@@ -505,16 +637,42 @@ class OpenSystemSimulator:
             consumed=consumed,
             trace=trace,
             horizon=horizon,
+            metrics=registry.snapshot() if registry.enabled else None,
         )
 
     # ------------------------------------------------------------------
     # Durability: offered tally, journaling, checkpoints
     # ------------------------------------------------------------------
     def _tally_offered(self, resources: ResourceSet) -> None:
+        registry = get_registry()
+        series_map = None
+        if registry.enabled:
+            # Joins repeat the same located types all run: bind each
+            # series once per (run, registry).  The cache is reset by
+            # run() so stale ltype ids can never alias across runs.
+            cache = getattr(self, "_offered_series", None)
+            if cache is None or cache[0] is not registry:
+                cache = self._offered_series = (
+                    registry,
+                    registry.counter(
+                        "sim_offered_quantity_total",
+                        "resource quantity offered, by located type",
+                        labels=("ltype",),
+                    ),
+                    {},
+                )
+            _, counter, series_map = cache
         for ltype in resources.located_types:
             amount = resources.quantity(ltype, self._run_window)
             if amount > 0:
                 self._offered[ltype] = self._offered.get(ltype, 0) + amount
+                if series_map is not None:
+                    series = series_map.get(id(ltype))
+                    if series is None:
+                        series = series_map[id(ltype)] = counter.labels(
+                            ltype=str(ltype)
+                        )
+                    series.inc(_metric_amount(amount))
 
     def _configure_durability(
         self,
@@ -579,6 +737,10 @@ class OpenSystemSimulator:
                     f"{expected!r}, replay produced {record!r}"
                 )
             self._replay_pos += 1
+            get_registry().counter(
+                "journal_replay_verified_total",
+                "journal records re-verified against deterministic replay",
+            ).inc()
         else:
             self._journal.append(record)
         self._journal_count += 1
@@ -793,12 +955,34 @@ class OpenSystemSimulator:
             return state
         measure = Interval(state.t, self._horizon)
         survived = state.theta.saturating_minus(lost)
+        registry = get_registry()
+        series_map = None
+        if registry.enabled:
+            cache = getattr(self, "_lost_series", None)
+            if cache is None or cache[0] is not registry:
+                cache = self._lost_series = (
+                    registry,
+                    registry.counter(
+                        "sim_lost_quantity_total",
+                        "capacity lost to faults, by cause and located type",
+                        labels=("cause", "ltype"),
+                    ),
+                    {},
+                )
+            _, lost_total, series_map = cache
         for ltype in state.theta.located_types:
             gone = state.theta.quantity(ltype, measure) - survived.quantity(
                 ltype, measure
             )
             if gone > 1e-12:
                 trace.record_loss(state.t, cause, ltype, gone)
+                if series_map is not None:
+                    series = series_map.get((cause, id(ltype)))
+                    if series is None:
+                        series = series_map[(cause, id(ltype))] = (
+                            lost_total.labels(cause=cause, ltype=str(ltype))
+                        )
+                    series.inc(_metric_amount(gone))
         if self._recovery is not None:
             # Honest recovery reasons against surviving resources only.
             self._admission.observe_loss(lost, state.t)
@@ -899,10 +1083,26 @@ class OpenSystemSimulator:
         self._journal_decision(
             "recovery", record.label, now, decision, attempt=victim.attempts
         )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "recovery_offers_total",
+                "re-admission offers to violation victims, by verdict "
+                "and trigger",
+                labels=("verdict", "trigger"),
+            ).inc(
+                verdict="admitted" if decision.admitted else "rejected",
+                trigger=reason,
+            )
         if decision.admitted:
             del self._victims[record.label]
             self._flagged.discard(record.label)
             record.recovered = True
+            registry.counter(
+                "recovery_outcomes_total",
+                "settled violation victims, by terminal outcome",
+                labels=("outcome",),
+            ).inc(outcome="recovered")
             trace.note(
                 now,
                 f"recovered {record.label!r} on offer {victim.attempts} "
@@ -934,6 +1134,11 @@ class OpenSystemSimulator:
         record.abandoned = True
         salvaged = self._consumed_by_owner.get(record.label, 0.0)
         record.salvaged = salvaged
+        get_registry().counter(
+            "recovery_outcomes_total",
+            "settled violation victims, by terminal outcome",
+            labels=("outcome",),
+        ).inc(outcome="abandoned")
         trace.note(
             now,
             f"abandoned {record.label!r} after {record.recovery_attempts} "

@@ -202,9 +202,16 @@ class SimulationTrace:
         """
         consumed = self.consumed_totals()
         expired = self.expired_totals()
-        lost = self.lost_totals() if include_losses else {}
+        all_lost = self.lost_totals()
+        lost = all_lost if include_losses else {}
         gaps: List[str] = []
-        keys = set(offered) | set(consumed) | set(expired) | set(lost)
+        # Key discovery always includes loss-only types: a located type
+        # that shows up *only* in loss records (never offered, consumed,
+        # or expired) is itself an accounting anomaly and must surface in
+        # the report — even when ``include_losses=False`` keeps losses
+        # out of the balanced side, where 0 == 0 would otherwise let it
+        # vanish silently.
+        keys = set(offered) | set(consumed) | set(expired) | set(all_lost)
         for ltype in sorted(keys, key=str):
             accounted = (
                 consumed.get(ltype, 0)
@@ -222,6 +229,15 @@ class SimulationTrace:
                     f"accounted (consumed+expired+lost"
                     f"{'+remaining' if remaining is not None else ''}) "
                     f"= {accounted}"
+                )
+            elif (
+                not include_losses
+                and ltype not in offered
+                and abs(float(all_lost.get(ltype, 0))) > tolerance
+            ):
+                gaps.append(
+                    f"conservation: {ltype} lost "
+                    f"{all_lost[ltype]} but was never offered"
                 )
         return gaps
 

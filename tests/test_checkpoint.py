@@ -105,6 +105,48 @@ class TestJournal:
         records, _ = Journal.scan(path)
         assert len(records) == len(RECORDS) + 1  # garbage gone, append clean
 
+    # The three "fresh" resume states: the crashed run died before its
+    # first append became durable.  None of them is an error — the
+    # resumed run starts from zero records and re-appends its header.
+    def test_for_resume_nonexistent_journal_is_fresh(self, tmp_path):
+        path = tmp_path / "never-written.jsonl"
+        journal, records = Journal.for_resume(path)
+        assert records == []
+        assert journal.count == 0
+        journal.append(journal_header({"policy": "rota"}))
+        journal.close()
+        records, _ = Journal.scan(path)
+        assert len(records) == 1  # usable journal, header first
+
+    def test_for_resume_zero_length_journal_is_fresh(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b"")
+        journal, records = Journal.for_resume(path)
+        assert records == []
+        assert journal.count == 0
+        journal.close()
+
+    def test_for_resume_torn_first_record_is_fresh(self, tmp_path):
+        # Death mid-header-append: only torn bytes of record 0 on disk.
+        path = tmp_path / "j.jsonl"
+        path.write_bytes(b'{"crc": 99, "data": {"type": "journal_hea')
+        journal, records = Journal.for_resume(path)
+        assert records == []
+        assert journal.count == 0
+        journal.close()
+        assert path.stat().st_size == 0  # torn bytes truncated away
+
+    def test_for_resume_header_only_journal_continues(self, tmp_path):
+        header = journal_header({"policy": "rota"})
+        path = write_journal(tmp_path / "j.jsonl", records=[header])
+        journal, records = Journal.for_resume(path)
+        assert records == [header]
+        assert journal.count == 1
+        journal.append(RECORDS[0])
+        journal.close()
+        records, _ = Journal.scan(path)
+        assert records == [header, RECORDS[0]]
+
     def test_header_version_gate(self, tmp_path):
         header = journal_header({"policy": "rota"})
         assert header["format_version"] == JOURNAL_FORMAT_VERSION
