@@ -144,6 +144,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--align", type=int, default=None,
         help="round witness breakpoints up to this time grid",
     )
+    check.add_argument(
+        "--lint", action="store_true",
+        help="screen the request with the repro-lint spec rules before "
+        "admission; errors block the check (exit 1), warnings print to "
+        "stderr and the check proceeds",
+    )
 
     sub.add_parser("table1", help="print the reproduced Table I")
 
@@ -343,13 +349,43 @@ def _resume_scenario(checkpoint_dir, policy_name):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    if args.request == "-":
-        payload = json.load(sys.stdin)
-    else:
-        with open(args.request) as handle:
-            payload = json.load(handle)
-    resources = resource_set_from_wire(payload["resources"])
-    requirement = requirement_from_wire(payload["requirement"])
+    from repro.errors import RotaError
+
+    try:
+        if args.request == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.request) as handle:
+                payload = json.load(handle)
+    except OSError as exc:
+        print(f"error: cannot read {args.request}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.request} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(payload, dict) or not {
+        "resources", "requirement"
+    } <= set(payload):
+        print(
+            "error: a check request is a JSON object with 'resources' and "
+            "'requirement' keys (repro.serialization wire format)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.lint:
+        from repro.analysis.lint import check_request_document, render_text
+
+        findings = check_request_document(payload, args.request)
+        if findings:
+            print(render_text(findings, 1), file=sys.stderr)
+        if any(f.severity == "error" for f in findings):
+            return 1
+    try:
+        resources = resource_set_from_wire(payload["resources"])
+        requirement = requirement_from_wire(payload["requirement"])
+    except RotaError as exc:
+        print(f"error: malformed request: {exc}", file=sys.stderr)
+        return 2
     controller = AdmissionController(resources, align=args.align)
     decision = controller.can_admit(requirement)
     result = {"admitted": decision.admitted}
@@ -385,15 +421,28 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.resources import ResourceSet
     from repro.workloads.persistence import load_events
 
+    from repro.errors import RotaError
+
     metrics_error = _check_metrics_flags(args)
     if metrics_error is not None:
         print(f"error: {metrics_error}", file=sys.stderr)
         return 2
-    if args.resources is not None:
-        with open(args.resources) as handle:
-            initial = resource_set_from_wire(json.load(handle))
-    else:
-        initial = ResourceSet.empty()
+    try:
+        if args.resources is not None:
+            with open(args.resources) as handle:
+                initial = resource_set_from_wire(json.load(handle))
+        else:
+            initial = ResourceSet.empty()
+        events = load_events(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    except RotaError as exc:
+        print(f"error: malformed input: {exc}", file=sys.stderr)
+        return 2
     policy_cls = next(cls for cls in ALL_POLICIES if cls.name == args.policy)
     policy = policy_cls()
     allocation = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
@@ -401,7 +450,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         simulator = OpenSystemSimulator(
             policy, initial_resources=initial, allocation_policy=allocation
         )
-        simulator.schedule(*load_events(args.trace))
+        simulator.schedule(*events)
         report = simulator.run(args.horizon)
     print(policy_table([score(report)], title=f"replay of {args.trace}"))
     return 0

@@ -282,7 +282,7 @@ class AdmissionController:
             # its window to (now, d).
             effective = _clip_start(requirement, self._now)
         registry = get_registry()
-        started = registry.now() if registry.enabled else 0.0
+        started = registry.now() if registry.enabled else 0
         schedule = find_concurrent_schedule(
             self.expiring_slack, effective, exhaustive=exhaustive, align=self._align
         )

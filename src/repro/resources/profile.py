@@ -49,7 +49,7 @@ from repro.intervals.intervalset import IntervalSet
 
 #: Tolerance used when float arithmetic is involved.  Exact numeric types
 #: (int, Fraction) never need it.
-EPSILON = 1e-9
+EPSILON = 1e-9  # repro-lint: disable=float-literal -- the sanctioned float-tolerance boundary itself (see is_exact below)
 
 
 def is_exact(value: object) -> bool:

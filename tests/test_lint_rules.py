@@ -1,0 +1,293 @@
+"""Per-rule fixtures for the code rules, plus the self-checks the issue
+demands: every registered rule has at least one failing fixture, the
+repo's own source is clean, and an injected ``time.time()`` in
+``repro.system`` is demonstrably caught."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    LAYERS,
+    META_RULES,
+    Analyzer,
+    all_rules,
+    allowed_imports,
+    get_rules,
+    import_violation,
+    layer_of,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+DET_PATH = "src/repro/system/fixture.py"  # deterministic scope
+EXACT_PATH = "src/repro/resources/fixture.py"  # exact-arithmetic scope
+OUT_OF_SCOPE_PATH = "src/repro/logic/fixture.py"  # neither scope
+
+# rule -> (path, [bad snippets], [good snippets]).  Bad snippets must
+# produce at least one finding for exactly that rule; good snippets must
+# produce none at all under the full analyzer.
+FIXTURES = {
+    "wall-clock": (
+        DET_PATH,
+        [
+            "import time\nt = time.time()\n",
+            "import time as clock\nt = clock.monotonic()\n",
+            "from time import perf_counter\nt = perf_counter()\n",
+            "import datetime\nnow = datetime.datetime.now()\n",
+            "from datetime import datetime\nnow = datetime.utcnow()\n",
+        ],
+        [
+            "def advance(state, delta):\n    return state.now + delta\n",
+            # a local variable named time is not the module
+            "def f(time):\n    return time.time()\n",
+        ],
+    ),
+    "unseeded-random": (
+        DET_PATH,
+        [
+            "import random\nx = random.random()\n",
+            "import random\nrng = random.Random()\n",
+            "import random\nrng = random.SystemRandom()\n",
+            "import os\nnoise = os.urandom(8)\n",
+            "import uuid\ntoken = uuid.uuid4()\n",
+            "import secrets\nk = secrets.token_bytes(16)\n",
+            "import numpy.random as npr\nrng = npr.default_rng()\n",
+        ],
+        [
+            "import random\nrng = random.Random(42)\n",
+            "import random\n\ndef make(seed):\n    return random.Random(seed)\n",
+            "import numpy.random as npr\nrng = npr.default_rng(7)\n",
+        ],
+    ),
+    "set-iteration": (
+        DET_PATH,
+        [
+            "for x in {1, 2, 3}:\n    print(x)\n",
+            "xs = [x for x in {1, 2}]\n",
+            "xs = list(set([3, 1, 2]))\n",
+            "xs = tuple(frozenset((1, 2)))\n",
+            "for i, x in enumerate({'a', 'b'}):\n    print(i, x)\n",
+        ],
+        [
+            "for x in sorted({3, 1, 2}):\n    print(x)\n",
+            "for x in [1, 2, 3]:\n    print(x)\n",
+            "xs = sorted(set([3, 1, 2]))\n",
+            "present = 2 in {1, 2, 3}\n",  # membership is order-free
+        ],
+    ),
+    "id-ordering": (
+        DET_PATH,
+        [
+            "xs = sorted([object(), object()], key=id)\n",
+            "xs = [3, 1]\nxs.sort(key=id)\n",
+            "worst = max([object()], key=lambda o: id(o))\n",
+        ],
+        [
+            "xs = sorted(['b', 'a'])\n",
+            "xs = sorted([('b', 1)], key=lambda p: p[0])\n",
+        ],
+    ),
+    "float-literal": (
+        EXACT_PATH,
+        [
+            "x = 0.5\n",
+            "def f():\n    return 1e-6\n",
+        ],
+        [
+            "from fractions import Fraction\nx = Fraction(1, 2)\n",
+            "x = 5\n",
+        ],
+    ),
+    "float-compare": (
+        EXACT_PATH,
+        [
+            "def f(x):\n    return x == 0.5\n",
+            "def f(x):\n    return float(x) != x\n",
+            "def f(a, b):\n    return a == b == 1.5\n",
+        ],
+        [
+            "def f(x):\n    return x == 5\n",
+            "def f(x):\n    return x < 2\n",
+        ],
+    ),
+    "layering": (
+        "src/repro/intervals/fixture.py",
+        [
+            "from repro.system import simulator\n",
+            "import repro.decision.admission\n",
+            "from repro import workloads\n",
+        ],
+        [
+            "from repro.errors import RotaError\n",
+            "from repro.intervals import algebra\n",
+            "import fractions\n",
+        ],
+    ),
+    # Meta rules fire during reconciliation rather than from an AST walk;
+    # their fixtures live on the deterministic path so the suppressed rule
+    # exists in scope.
+    "parse-error": (DET_PATH, ["def broken(:\n"], []),
+    "suppression-missing-reason": (
+        DET_PATH,
+        ["import time\nt = time.time()  # repro-lint: disable=wall-clock\n"],
+        [],
+    ),
+    "suppression-unknown-rule": (
+        DET_PATH,
+        ["x = 1  # repro-lint: disable=bogus-rule -- misguided\n"],
+        [],
+    ),
+    "suppression-unused": (
+        DET_PATH,
+        ["x = 1  # repro-lint: disable=wall-clock -- nothing to silence\n"],
+        [],
+    ),
+}
+
+
+def run(text, path):
+    return Analyzer().check_source(text, path)
+
+
+@pytest.mark.parametrize(
+    "rule,path,snippet",
+    [
+        (rule, path, snippet)
+        for rule, (path, bad, _good) in sorted(FIXTURES.items())
+        for snippet in bad
+    ],
+)
+def test_bad_fixture_triggers_rule(rule, path, snippet):
+    findings = run(snippet, path)
+    assert any(f.rule == rule for f in findings), (
+        f"expected a {rule} finding, got {[f.render() for f in findings]}"
+    )
+    for finding in findings:
+        assert finding.path == path
+        assert finding.line >= 1 and finding.column >= 1
+
+
+@pytest.mark.parametrize(
+    "rule,path,snippet",
+    [
+        (rule, path, snippet)
+        for rule, (path, _bad, good) in sorted(FIXTURES.items())
+        for snippet in good
+    ],
+)
+def test_good_fixture_is_clean(rule, path, snippet):
+    findings = run(snippet, path)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_every_registered_rule_has_a_failing_fixture():
+    """Self-check: a rule nobody can trip is a rule nobody tests."""
+    registered = {rule.name for rule in all_rules()} | set(META_RULES)
+    with_bad_fixture = {rule for rule, (_p, bad, _g) in FIXTURES.items() if bad}
+    assert registered <= with_bad_fixture, (
+        f"rules without a failing fixture: {sorted(registered - with_bad_fixture)}"
+    )
+
+
+def test_scoped_rules_ignore_out_of_scope_modules():
+    for rule in ("wall-clock", "unseeded-random", "set-iteration", "id-ordering"):
+        _path, bad, _good = FIXTURES[rule]
+        findings = run(bad[0], OUT_OF_SCOPE_PATH)
+        assert not any(f.rule == rule for f in findings)
+    for rule in ("float-literal", "float-compare"):
+        _path, bad, _good = FIXTURES[rule]
+        findings = run(bad[0], OUT_OF_SCOPE_PATH)
+        assert not any(f.rule == rule for f in findings)
+
+
+def test_decision_package_is_in_both_scopes():
+    findings = run("import time\nx = 0.5\nt = time.time()\n",
+                   "src/repro/decision/fixture.py")
+    assert {f.rule for f in findings} == {"wall-clock", "float-literal"}
+
+
+def test_repo_source_is_clean():
+    """Acceptance criterion: repro-lint over src/repro reports nothing."""
+    analyzer = Analyzer()
+    findings, checked = analyzer.check_paths([str(SRC_REPRO)])
+    assert checked > 50
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_injected_wall_clock_in_simulator_is_caught():
+    """Acceptance criterion: determinism rules demonstrably catch an
+    injected ``time.time()`` call in ``repro.system``."""
+    real = SRC_REPRO / "system" / "simulator.py"
+    text = real.read_text(encoding="utf-8")
+    injected = text + "\n\nimport time\n\ndef _leak():\n    return time.time()\n"
+    expected_line = len(injected.splitlines())  # the return time.time() line
+
+    findings = Analyzer().check_source(injected, str(real))
+    clocks = [f for f in findings if f.rule == "wall-clock"]
+    assert len(clocks) == 1
+    assert clocks[0].path == str(real)
+    assert clocks[0].line == expected_line
+    assert "time.time" in clocks[0].message
+
+
+class TestLayeringMap:
+    def test_every_actual_package_is_declared(self):
+        packages = sorted(
+            p.name for p in SRC_REPRO.iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        )
+        top_modules = sorted(
+            p.stem for p in SRC_REPRO.glob("*.py") if p.stem != "__init__"
+        )
+        for name in packages + top_modules:
+            assert layer_of(name) is not None, f"repro.{name} missing from LAYERS"
+
+    def test_declared_packages_without_stale_entries(self):
+        declared = {m for _layer, members in LAYERS for m in members}
+        on_disk = {
+            p.name for p in SRC_REPRO.iterdir()
+            if p.is_dir() and (p / "__init__.py").exists()
+        } | {p.stem for p in SRC_REPRO.glob("*.py") if p.stem != "__init__"}
+        on_disk.add("repro")  # the root package maps to itself
+        stale = declared - on_disk
+        assert stale == set(), f"LAYERS declares nonexistent packages: {sorted(stale)}"
+
+    def test_downward_import_is_allowed(self):
+        assert import_violation("system", "resources") is None
+        assert import_violation("decision", "intervals") is None
+        assert import_violation("cli", "system") is None
+
+    def test_upward_import_is_rejected(self):
+        message = import_violation("intervals", "system")
+        assert message is not None and "strictly downward" in message
+
+    def test_runtime_cycle_is_sanctioned(self):
+        assert import_violation("system", "faults") is None
+        assert import_violation("faults", "workloads") is None
+        assert import_violation("workloads", "system") is None
+
+    def test_same_layer_import_rejected_outside_runtime(self):
+        assert import_violation("resources", "observability") is not None
+
+    def test_observability_override(self):
+        assert import_violation("observability", "errors") is None
+        message = import_violation("observability", "resources")
+        assert message is not None and "instruments" in message
+
+    def test_undeclared_package_is_itself_a_violation(self):
+        message = import_violation("intervals", "nonexistent")
+        assert message is not None and "layering map" in message
+        assert allowed_imports("nonexistent") is None
+
+    def test_layering_rule_resolves_relative_imports(self):
+        # ``from ..system import simulator`` inside repro.intervals
+        findings = Analyzer(get_rules(["layering"])).check_source(
+            "from ..system import simulator\n",
+            "src/repro/intervals/fixture.py",
+            "repro.intervals.fixture",
+        )
+        assert [f.rule for f in findings] == ["layering"]

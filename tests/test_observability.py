@@ -474,19 +474,31 @@ class TestExporters:
 # ----------------------------------------------------------------------
 
 def test_observability_package_has_no_instrumented_imports():
+    """Thin wrapper: the scan now lives in repro.analysis.lint.layering
+    (the declarative layering map + the 'layering' rule); this test keeps
+    the original coverage by invoking the framework on the package."""
+    from repro.analysis.lint import Analyzer, get_rules
+
     package_dir = (
         Path(__file__).resolve().parent.parent
         / "src" / "repro" / "observability"
     )
-    forbidden = (
-        "repro.system", "repro.decision", "repro.faults",
-        "repro.baselines", "repro.workloads", "repro.resources",
-        "repro.computation", "repro.cli",
+    analyzer = Analyzer(get_rules(["layering"]))
+    findings, checked = analyzer.check_paths([package_dir])
+    assert checked >= 4, "observability sources went missing"
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_layering_rule_rejects_observability_importing_instrumented_code():
+    """The property the old string scan enforced, now as a positive
+    detection test: an observability module importing what it instruments
+    must be flagged."""
+    from repro.analysis.lint import Analyzer, get_rules
+
+    analyzer = Analyzer(get_rules(["layering"]))
+    findings = analyzer.check_source(
+        "from repro.system import OpenSystemSimulator\n",
+        "src/repro/observability/bad.py",
     )
-    for source in sorted(package_dir.glob("*.py")):
-        text = source.read_text()
-        for prefix in forbidden:
-            assert f"import {prefix}" not in text and f"from {prefix}" not in text, (
-                f"{source.name} imports {prefix}: observability must stay "
-                "dependency-free so instrumented code can import it"
-            )
+    assert [f.rule for f in findings] == ["layering"]
+    assert "instruments" in findings[0].message
