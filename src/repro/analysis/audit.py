@@ -114,12 +114,21 @@ def _audit_conservation(report: SimulationReport, allow_revocation: bool):
         return
     consumed = report.trace.consumed_totals()
     expired = report.trace.expired_totals()
+    # Shed capacity (front-door refusals) is deliberate, not a fault:
+    # a fault-free run behind an admission front door still sheds, so
+    # the strict identity carries the shed leg even here.
+    shed = report.trace.shed_totals()
     for ltype, offered in report.offered.items():
-        accounted = consumed.get(ltype, 0) + expired.get(ltype, 0)
+        accounted = (
+            consumed.get(ltype, 0)
+            + expired.get(ltype, 0)
+            + shed.get(ltype, 0)
+        )
         if not _close(accounted, offered):
+            legs = "consumed+expired+shed" if shed else "consumed+expired"
             yield (
                 f"conservation: {ltype} offered {offered} but "
-                f"consumed+expired = {accounted}"
+                f"{legs} = {accounted}"
             )
 
 

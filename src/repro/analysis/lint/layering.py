@@ -32,6 +32,9 @@ from repro.analysis.lint.engine import Finding, Rule, SourceFile, register
 #: under their own name; the root package itself is the ``repro`` entry.
 LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("kernel", ("errors",)),
+    # Self-contained deterministic utilities (seeded backoff): above the
+    # error hierarchy, below everything with domain semantics.
+    ("primitives", ("backoff",)),
     ("intervals", ("intervals",)),
     ("substrate", ("resources", "observability")),
     ("model", ("computation",)),
@@ -39,6 +42,10 @@ LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("semantics", ("logic",)),
     ("policies", ("baselines",)),
     ("strategies", ("planning", "encapsulation")),
+    # The admission front door wraps decisions and policies; the
+    # runtime (simulator, fault plans, workloads) drives it — service
+    # may depend on decision/observability, never the reverse.
+    ("services", ("service",)),
     ("runtime", ("system", "faults", "workloads")),
     ("surface", ("analysis", "cli", "__main__", "repro")),
 )

@@ -34,6 +34,10 @@ DETERMINISTIC_MODULES: Tuple[str, ...] = (
     "repro.system",
     "repro.decision",
     "repro.faults",
+    # The front door's shed/breaker/brownout decisions must replay
+    # byte-identically under a fixed seed (PR 6).
+    "repro.service",
+    "repro.backoff",
 )
 
 #: Modules whose arithmetic must stay exact (int/Fraction only).

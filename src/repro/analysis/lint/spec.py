@@ -15,6 +15,9 @@ Recognised documents (dispatch on structure / ``"kind"``):
 * **event traces** — ``*.jsonl`` files in the
   :mod:`repro.workloads.persistence` wire format;
 * **fault plans** — ``{"kind": "fault_plan", "seed": ..., ...}``;
+* **service configs** — ``{"kind": "service_config", "max_queue": ...,
+  ...}`` front-door overload-protection parameters
+  (:class:`repro.service.ServiceConfig`);
 * **formulas** — ``{"kind": "formula", "formula": {"op": ...}}`` trees in
   ROTA syntax (Section V);
 * **temporal specs** — ``{"kind": "temporal_spec", "constraints": [...]}``
@@ -40,6 +43,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.analysis.lint.engine import Finding
 from repro.computation.interaction import SegmentedRequirement
 from repro.computation.requirements import SimpleRequirement
+from repro.decision.screen import requirement_demands, supply_shortfall
 from repro.errors import (
     FaultInjectionError,
     InvalidComputationError,
@@ -81,6 +85,10 @@ SPEC_RULES: Dict[str, str] = {
     ),
     "spec-reference": "a temporal constraint references an unknown interval",
     "spec-fault-plan": "a fault plan's parameters are inconsistent",
+    "spec-service": (
+        "a front-door service config's parameters are inconsistent "
+        "(queue bounds, brownout hysteresis, breaker thresholds)"
+    ),
 }
 
 #: Keys accepted per document kind (anything else is a spec-syntax finding).
@@ -163,6 +171,8 @@ def check_spec_document(
         return _check_scenario(document, path, quick=quick)
     if kind == "fault_plan":
         return _check_fault_plan(document, path)
+    if kind == "service_config":
+        return _check_service_config(document, path)
     if kind == "formula":
         return _check_formula_document(document, path)
     if kind == "temporal_spec":
@@ -179,8 +189,8 @@ def check_spec_document(
         _finding(
             path, "spec-syntax",
             f"unrecognised spec document (kind={kind!r}); expected a check "
-            "request, scenario, fault_plan, formula, temporal_spec, "
-            "resource_set, or *_requirement",
+            "request, scenario, fault_plan, service_config, formula, "
+            "temporal_spec, resource_set, or *_requirement",
         )
     ]
 
@@ -309,9 +319,7 @@ def _load_requirement(data: Any, path: str, where: str):
 
 
 def _requirement_demands(requirement) -> Mapping:
-    if isinstance(requirement, SimpleRequirement):
-        return requirement.demands
-    return requirement.total_demands
+    return requirement_demands(requirement)
 
 
 def _requirement_semantics(
@@ -425,22 +433,17 @@ def check_request_document(
     findings.extend(
         _coverage_findings(requirement, provided, path, "$.requirement")
     )
-    window = requirement.window
-    if not (isinstance(window.end, float) and math.isinf(window.end)):
-        for ltype, demanded in _requirement_demands(requirement).items():
-            if ltype not in provided:
-                continue
-            available = resources.quantity(ltype, window)
-            if demanded > available:
-                findings.append(
-                    _finding(
-                        path, "spec-supply-shortfall",
-                        f"demands {demanded} of {ltype} inside {window} but "
-                        f"the resource set can supply at most {available} "
-                        "there (Theorem-1 necessary condition fails)",
-                        where="$.requirement",
-                    )
-                )
+    # The Theorem-1 screen itself lives in the decision layer
+    # (repro.decision.screen) so the service front door's brownout mode
+    # and this linter can never drift apart on what "infeasible" means.
+    shortfall = supply_shortfall(resources, requirement)
+    if shortfall is not None:
+        findings.append(
+            _finding(
+                path, "spec-supply-shortfall", shortfall,
+                where="$.requirement",
+            )
+        )
     return findings
 
 
@@ -861,6 +864,36 @@ def _check_fault_plan(document: Mapping[str, Any], path: str) -> List[Finding]:
         findings.append(
             _finding(path, "spec-syntax",
                      f"bad fault plan: {exc}", where="$")
+        )
+    return findings
+
+
+def _check_service_config(
+    document: Mapping[str, Any], path: str
+) -> List[Finding]:
+    """Screen a front-door config the way fault plans are screened: a
+    typo'd key is syntax, a constructible-but-inconsistent combination
+    (e.g. brownout exit >= enter) is a ``spec-service`` finding."""
+    from repro.errors import ServiceConfigError
+    from repro.service import ServiceConfig
+
+    findings: List[Finding] = []
+    known = set(ServiceConfig.__dataclass_fields__) | {"kind"}
+    for key in sorted(set(document) - known):
+        findings.append(
+            _finding(path, "spec-syntax",
+                     f"unknown service_config key {key!r}", where=f"$.{key}")
+        )
+    fields = {
+        key: value
+        for key, value in document.items()
+        if key != "kind" and key in known
+    }
+    try:
+        ServiceConfig.from_document(fields)
+    except ServiceConfigError as exc:
+        findings.append(
+            _finding(path, "spec-service", str(exc), where="$")
         )
     return findings
 

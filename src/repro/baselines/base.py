@@ -71,6 +71,18 @@ class AdmissionPolicy(abc.ABC):
         release the victim's claims so re-admission sees the freed slack.
         """
 
+    def admit_resources(self, resources: ResourceSet, now: Time) -> ResourceSet:
+        """Screen a resource join before the system acquires it (optional).
+
+        Returns the accepted part; anything withheld is recorded by the
+        simulator as *shed* capacity — the ``+ shed`` leg of the extended
+        conservation identity.  The default accepts everything; the
+        service front door (:class:`repro.service.FrontDoorPolicy`)
+        overrides this to wall off joins from enclaves whose circuit
+        breaker is open.
+        """
+        return resources
+
     def retry_candidates(
         self, now: Time
     ) -> list[tuple[str, ConcurrentRequirement]]:

@@ -25,43 +25,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.backoff import Backoff
 from repro.baselines.base import AdmissionPolicy, PolicyDecision
 from repro.computation.requirements import ConcurrentRequirement
-from repro.errors import RecoveryError
 from repro.intervals.interval import Time
 from repro.resources.resource_set import ResourceSet
 
 
 @dataclass(frozen=True)
-class ExponentialBackoff:
-    """Capped exponential delays: ``min(cap, base * factor**attempt)``.
+class ExponentialBackoff(Backoff):
+    """The shared :class:`repro.backoff.Backoff` under its historical
+    name, jitter off by default: ``min(cap, base * factor**attempt)``.
 
     ``attempt`` counts completed attempts, so the first re-offer waits
     ``base`` and each rejection doubles (by default) the wait, up to
     ``cap``.  Deterministic on purpose: fault experiments must replay
-    bit-identically, so jitter is left to workload seeds, not the backoff.
+    bit-identically — and when jitter *is* enabled, it is the stateless
+    seeded kind, never a shared RNG stream.
     """
-
-    base: Time = 1
-    factor: float = 2.0
-    cap: Time = 16
-
-    def __post_init__(self) -> None:
-        if self.base <= 0 or self.cap < self.base or self.factor < 1:
-            raise RecoveryError(
-                f"invalid backoff: base={self.base!r} factor={self.factor!r} "
-                f"cap={self.cap!r} (need base > 0, cap >= base, factor >= 1)"
-            )
-
-    def delay(self, attempt: int) -> Time:
-        """Delay before re-offer number ``attempt + 1``."""
-        if attempt < 0:
-            raise RecoveryError(f"attempt must be non-negative, got {attempt}")
-        raw = self.base * (self.factor ** attempt)
-        if raw >= float(self.cap):
-            return self.cap
-        # Keep integral delays integral so event times stay on the grid.
-        return type(self.base)(raw) if raw == int(raw) else raw
 
 
 @dataclass

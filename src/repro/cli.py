@@ -38,6 +38,7 @@ from repro.serialization import (
     resource_set_from_wire,
     schedule_to_wire,
 )
+from repro.service import SHED_POLICIES
 from repro.system import OpenSystemSimulator, ReservationPolicy
 from repro.workloads import cloud_scenario, pipeline_scenario, volunteer_scenario
 
@@ -132,6 +133,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir/<policy>/ instead of starting fresh "
         "(requires a single explicit --policy)",
     )
+    door = scenario.add_argument_group(
+        "overload protection",
+        "deadline-aware admission front door (repro.service): bounded "
+        "queues, load shedding, per-enclave circuit breakers, brownout",
+    )
+    door.add_argument(
+        "--front-door", action="store_true",
+        help="run every policy behind the admission front door "
+        "(bounded queues + deadline-aware shedding) and print the "
+        "shed/breaker/brownout summary",
+    )
+    door.add_argument(
+        "--max-queue", type=_nonnegative_int, default=None, metavar="N",
+        help="per-enclave queue bound; arrivals beyond it are shed "
+        "(default: 64; requires --front-door)",
+    )
+    door.add_argument(
+        "--shed-policy", choices=SHED_POLICIES, default=None,
+        help="what to shed when queues fill: 'deadline' drops requests "
+        "whose slack cannot survive the estimated wait, 'tail-drop' "
+        "drops newest arrivals (default: deadline; requires --front-door)",
+    )
+    door.add_argument(
+        "--brownout-threshold", type=_nonnegative_int, default=None,
+        metavar="DEPTH",
+        help="total queue depth at which the door degrades low-criticality "
+        "requests to the conservative screen (default: 48; "
+        "requires --front-door)",
+    )
     _add_metrics_flags(scenario)
 
     check = sub.add_parser("check", help="one-shot admission check from JSON")
@@ -201,6 +231,72 @@ def _check_metrics_flags(args: argparse.Namespace) -> str | None:
     return None
 
 
+def _check_front_door_flags(args: argparse.Namespace) -> str | None:
+    """Front-door tuning flags mean nothing without the front door."""
+    tuned = [
+        flag
+        for flag, value in (
+            ("--max-queue", args.max_queue),
+            ("--shed-policy", args.shed_policy),
+            ("--brownout-threshold", args.brownout_threshold),
+        )
+        if value is not None
+    ]
+    if tuned and not args.front_door:
+        return (
+            f"{'/'.join(tuned)} tune{'s' if len(tuned) == 1 else ''} the "
+            "admission front door; pass --front-door to put policies "
+            "behind it, or drop "
+            f"{'the flag' if len(tuned) == 1 else 'the flags'}"
+        )
+    if args.front_door and args.resume:
+        return (
+            "--resume restores the recorded policy (front door included) "
+            "from the checkpoint; front-door flags shape fresh runs only"
+        )
+    return None
+
+
+def _service_config(args: argparse.Namespace):
+    """Build the :class:`ServiceConfig` the scenario flags describe.
+
+    Raises :class:`~repro.errors.ServiceConfigError` on bad combinations
+    (e.g. a brownout threshold too small to leave hysteresis room).
+    """
+    from repro.service import ServiceConfig
+
+    kwargs: dict = {"seed": args.seed or 0}
+    if args.max_queue is not None:
+        kwargs["max_queue"] = args.max_queue
+    if args.shed_policy is not None:
+        kwargs["shed_policy"] = args.shed_policy
+    if args.brownout_threshold is not None:
+        kwargs["brownout_enter"] = args.brownout_threshold
+        # Preserve the 3:1 enter/exit hysteresis ratio of the defaults.
+        kwargs["brownout_exit"] = max(1, args.brownout_threshold // 3)
+    return ServiceConfig(**kwargs)
+
+
+def _door_summary_line(policy, horizon) -> str:
+    """One shed/breaker/brownout digest line for a front-door policy."""
+    from repro.service import ServiceReport
+
+    digest = ServiceReport.from_door(policy.door, horizon).summary()
+    line = (
+        f"  {policy.name}: offered={digest['offered']} "
+        f"admitted={digest['admitted']} rejected={digest['rejected']} "
+        f"shed={digest['shed']} breaker_opens={digest['breaker_opens']} "
+        f"brownout_entries={digest['brownout_entries']}"
+    )
+    reasons = ", ".join(
+        f"{reason}={count}"
+        for reason, count in sorted(digest["shed_reasons"].items())
+    )
+    if reasons:
+        line += f" ({reasons})"
+    return line
+
+
 @contextmanager
 def _metrics_session(args: argparse.Namespace):
     """Install a live registry for the run when ``--metrics-out`` asks
@@ -232,7 +328,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
     from repro.faults import FaultPlan, RecoveryPolicy, faulty_scenario
 
-    from repro.errors import CheckpointError, FaultInjectionError
+    from repro.errors import (
+        CheckpointError,
+        FaultInjectionError,
+        ServiceConfigError,
+    )
 
     if args.resume and args.policy == "all":
         print(
@@ -253,6 +353,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if metrics_error is not None:
         print(f"error: {metrics_error}", file=sys.stderr)
         return 2
+    door_error = _check_front_door_flags(args)
+    if door_error is not None:
+        print(f"error: {door_error}", file=sys.stderr)
+        return 2
+    service_config = None
+    if args.front_door:
+        try:
+            service_config = _service_config(args)
+        except ServiceConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     factory = SCENARIOS[args.name]
     scenario = factory(args.seed) if args.seed is not None else factory()
     try:
@@ -275,12 +386,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     )
     rows = []
     fault_lines = []
+    door_lines = []
     with _metrics_session(args):
         for cls in chosen:
             policy = cls()
             allocation = (
                 ReservationPolicy() if isinstance(policy, RotaAdmission) else None
             )
+            if service_config is not None:
+                from repro.service import FrontDoorPolicy
+
+                policy = FrontDoorPolicy(policy, service_config)
             durable: dict = {}
             if args.checkpoint_dir is not None and not args.resume:
                 policy_dir = Path(args.checkpoint_dir) / cls.name
@@ -319,10 +435,17 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
                     f"violations={len(report.violations)} "
                     f"recovered={report.recovered} abandoned={report.abandoned}"
                 )
+            if service_config is not None:
+                door_lines.append(
+                    _door_summary_line(policy, scenario.horizon)
+                )
     print(policy_table(rows, title=f"scenario={scenario.name}"))
     if fault_lines:
         print("promise violations under faults:")
         print("\n".join(fault_lines))
+    if door_lines:
+        print("front door (shed/breaker/brownout):")
+        print("\n".join(door_lines))
     return 0
 
 

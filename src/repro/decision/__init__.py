@@ -7,7 +7,12 @@
 * :mod:`repro.decision.bruteforce` — exhaustive transition-tree oracles
 """
 
-from repro.decision.admission import AdmissionController, AdmissionDecision
+from repro.decision.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    clip_start,
+)
+from repro.decision.screen import requirement_demands, supply_shortfall
 from repro.decision.alap import (
     criticality,
     find_alap_schedule,
@@ -40,6 +45,9 @@ from repro.decision.concurrent import is_feasible as is_concurrent_feasible
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "clip_start",
+    "requirement_demands",
+    "supply_shortfall",
     "criticality",
     "find_alap_schedule",
     "latest_phase_start",

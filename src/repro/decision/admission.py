@@ -280,7 +280,7 @@ class AdmissionController:
         if requirement.start < self._now:
             # The computation cannot consume resources in the past; clip
             # its window to (now, d).
-            effective = _clip_start(requirement, self._now)
+            effective = clip_start(requirement, self._now)
         registry = get_registry()
         started = registry.now() if registry.enabled else 0
         schedule = find_concurrent_schedule(
@@ -369,9 +369,17 @@ def _as_concurrent(
     return ConcurrentRequirement((requirement,), requirement.window)
 
 
-def _clip_start(
+def clip_start(
     requirement: ConcurrentRequirement, now: Time
 ) -> ConcurrentRequirement:
+    """``requirement`` with every window clipped to start no earlier than
+    ``now`` — the executable form of "time already spent is charged
+    against the deadline".  Used here for arrivals whose declared start
+    lies in the past, and by the service front door
+    (:mod:`repro.service`) to charge queueing delay before the exact
+    Theorem-4 check runs.  The deadline never moves; only the usable
+    window shrinks, so a check on the clipped requirement is exactly the
+    check a punctual arrival at ``now`` would get."""
     from repro.intervals.interval import Interval
 
     window = Interval(now, requirement.deadline)

@@ -84,3 +84,16 @@ class RecoveryError(RotaError, RuntimeError):
     """The promise-violation recovery pipeline reached an inconsistent
     configuration (e.g. a recovery offer for a computation that was never
     made a victim)."""
+
+
+class ServiceConfigError(RotaError, ValueError):
+    """An admission front-door configuration is inconsistent (negative
+    queue bounds, unordered brownout thresholds, unknown shed policy,
+    ...).  Overload protection deliberately refuses work; the knobs that
+    decide *which* work must themselves be well-formed."""
+
+
+class ServiceError(RotaError, RuntimeError):
+    """The admission front door reached an inconsistent state (arrivals
+    offered out of order, a brownout screen contradicting the exact
+    check, ...)."""

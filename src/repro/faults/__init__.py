@@ -30,6 +30,12 @@ from repro.faults.chaos import (
     report_fingerprint,
 )
 from repro.faults.detection import Victim, find_victims, residual_requirement
+from repro.faults.overload import (
+    OverloadPlan,
+    OverloadPoint,
+    OverloadResult,
+    chaos_overload_matrix,
+)
 from repro.faults.plan import FaultPlan, faulty_scenario
 from repro.faults.recovery import RecoveryPolicy
 from repro.system.tracing import PromiseViolation, ResourceLoss
@@ -40,8 +46,12 @@ __all__ = [
     "CrashPoint",
     "ExponentialBackoff",
     "FaultPlan",
+    "OverloadPlan",
+    "OverloadPoint",
+    "OverloadResult",
     "SimulatedCrash",
     "chaos_crash_matrix",
+    "chaos_overload_matrix",
     "crashing_opener",
     "diff_fingerprints",
     "faulty_scenario",

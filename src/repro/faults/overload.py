@@ -1,0 +1,305 @@
+"""Overload as an injectable condition, and the matrix that proves the
+front door's guarantees under it.
+
+The crash matrix (:mod:`repro.faults.chaos`) asks "does a killed run
+resume identically?"; this module asks the overload analogues:
+
+1. **Promise safety** — at every load multiplier (up to a 10x flash
+   crowd), no admitted request's promise is violated by queueing alone:
+   every admitted schedule fits inside ``(decision time, deadline)``.
+2. **Replay identity** — shed, breaker, and brownout decisions are a
+   deterministic function of ``(stream, config, seed)``: serving the
+   same stream twice yields byte-identical decision-log fingerprints.
+3. **Brownout soundness** — the degraded (Theorem-1 screen) path never
+   rejects anything the exact Theorem-4 check would admit; every screen
+   rejection is cross-checked against the read-only exact check.
+
+A fourth leg runs the stalled-enclave plan through the *simulator* with
+:class:`~repro.service.FrontDoorPolicy`, asserting the extended
+conservation identity (``offered = consumed + expired + lost + shed``)
+mid-run at every slice, plus field-identical reports across a re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FaultInjectionError
+from repro.service.config import ServiceConfig
+from repro.service.driver import serve
+from repro.service.policy import FrontDoorPolicy
+from repro.service.report import ServiceReport
+from repro.system.simulator import OpenSystemSimulator
+from repro.faults.chaos import diff_fingerprints, report_fingerprint
+from repro.workloads.overload import (
+    flash_crowd_requests,
+    stalled_enclave_stream,
+)
+
+
+@dataclass(frozen=True)
+class OverloadPlan:
+    """Deterministic description of an overload experiment."""
+
+    seed: int = 0
+    #: flash-crowd load multipliers to sweep (1 = no overload control)
+    multipliers: Tuple[int, ...] = (1, 2, 4, 10)
+    #: nodes in the synthetic cluster
+    nodes: int = 3
+    #: burst window (start, duration) in simulated time
+    burst_at: int = 20
+    burst_duration: int = 10
+    horizon: int = 60
+    #: per-request deadline slack (window length)
+    deadline_slack: int = 8
+    #: also run the stalled-enclave leg
+    stalled_enclave: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.multipliers:
+            raise FaultInjectionError("multipliers must be non-empty")
+        if any(
+            not isinstance(m, int) or m < 1 for m in self.multipliers
+        ):
+            raise FaultInjectionError(
+                f"multipliers must be positive integers, got "
+                f"{self.multipliers!r}"
+            )
+        if self.nodes < 1:
+            raise FaultInjectionError(f"nodes must be >= 1, got {self.nodes!r}")
+        if self.burst_at < 0 or self.burst_duration <= 0:
+            raise FaultInjectionError(
+                f"burst window must be non-negative and non-empty, got "
+                f"start={self.burst_at!r} duration={self.burst_duration!r}"
+            )
+        if self.horizon <= self.burst_at:
+            raise FaultInjectionError(
+                f"horizon {self.horizon!r} must exceed burst_at "
+                f"{self.burst_at!r}"
+            )
+        if self.deadline_slack <= 0:
+            raise FaultInjectionError(
+                f"deadline_slack must be > 0, got {self.deadline_slack!r}"
+            )
+
+
+@dataclass
+class OverloadPoint:
+    """One cell of the overload matrix and what it proved."""
+
+    kind: str  # "flash-crowd" | "stalled-enclave" | "simulator"
+    multiplier: int
+    offered: int = 0
+    admitted: int = 0
+    shed: int = 0
+    #: labels of admitted requests whose promise queueing already broke
+    queueing_violations: List[str] = field(default_factory=list)
+    #: decision-log fingerprints of the two runs agree byte-for-byte
+    identical: bool = False
+    #: brownout screen rejections cross-checked against the exact check
+    brownout_verified: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.identical and not self.queueing_violations and not self.detail
+
+
+@dataclass
+class OverloadResult:
+    """Outcome of a full overload matrix."""
+
+    points: List[OverloadPoint] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[OverloadPoint]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.points) and not self.failures
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.points)} overload points, "
+            f"{len(self.points) - len(self.failures)} clean, "
+            f"{len(self.failures)} failures"
+        )
+
+
+def _config(plan: OverloadPlan) -> ServiceConfig:
+    # Thresholds sized to the synthetic cluster: small queues so a 10x
+    # burst actually pressures them, brownout engaging well before the
+    # bound so the degraded path is exercised, not just reachable.
+    return ServiceConfig(
+        max_queue=16,
+        brownout_enter=8,
+        brownout_exit=3,
+        seed=plan.seed,
+    )
+
+
+def chaos_overload_matrix(
+    plan: OverloadPlan = OverloadPlan(),
+    *,
+    config_factory: Optional[Callable[[OverloadPlan], ServiceConfig]] = None,
+) -> OverloadResult:
+    """Sweep the overload matrix; callers assert ``result.ok``.
+
+    Every flash-crowd multiplier is served twice (replay identity) with
+    brownout soundness verification on; the stalled-enclave leg runs
+    both standalone and through the simulator with per-slice
+    conservation checks.
+    """
+    make_config = config_factory or _config
+    result = OverloadResult()
+    for multiplier in plan.multipliers:
+        result.points.append(_flash_crowd_point(plan, multiplier, make_config))
+    if plan.stalled_enclave:
+        result.points.append(_stalled_enclave_point(plan, make_config))
+        result.points.append(_simulator_point(plan))
+    return result
+
+
+def _serve_flash_crowd(
+    plan: OverloadPlan, multiplier: int, config: ServiceConfig
+) -> ServiceReport:
+    resources, requests = flash_crowd_requests(
+        plan.seed,
+        multiplier=multiplier,
+        nodes=plan.nodes,
+        burst_at=plan.burst_at,
+        burst_duration=plan.burst_duration,
+        horizon=plan.horizon,
+        deadline_slack=plan.deadline_slack,
+    )
+    return serve(
+        requests,
+        resources=resources,
+        config=config,
+        verify_brownout=True,
+    )
+
+
+def _flash_crowd_point(
+    plan: OverloadPlan,
+    multiplier: int,
+    make_config: Callable[[OverloadPlan], ServiceConfig],
+) -> OverloadPoint:
+    config = make_config(plan)
+    first = _serve_flash_crowd(plan, multiplier, config)
+    second = _serve_flash_crowd(plan, multiplier, config)
+    point = OverloadPoint(
+        kind="flash-crowd",
+        multiplier=multiplier,
+        offered=len(first.outcomes),
+        admitted=first.goodput,
+        shed=len(first.shed),
+        queueing_violations=first.queueing_violations(),
+        identical=first.fingerprint == second.fingerprint,
+        brownout_verified=first.brownout_verified,
+    )
+    if not point.identical:
+        point.detail = (
+            f"fingerprints diverge: {first.fingerprint[:12]} vs "
+            f"{second.fingerprint[:12]}"
+        )
+    return point
+
+
+def _stalled_enclave_point(
+    plan: OverloadPlan,
+    make_config: Callable[[OverloadPlan], ServiceConfig],
+) -> OverloadPoint:
+    config = make_config(plan)
+
+    def run() -> ServiceReport:
+        resources, requests, joins, stalls = stalled_enclave_stream(
+            plan.seed, nodes=plan.nodes, horizon=plan.horizon
+        )
+        return serve(
+            requests,
+            resources=resources,
+            joins=joins,
+            config=config,
+            stalls=stalls,
+            verify_brownout=True,
+        )
+
+    first, second = run(), run()
+    point = OverloadPoint(
+        kind="stalled-enclave",
+        multiplier=1,
+        offered=len(first.outcomes),
+        admitted=first.goodput,
+        shed=len(first.shed),
+        queueing_violations=first.queueing_violations(),
+        identical=first.fingerprint == second.fingerprint,
+        brownout_verified=first.brownout_verified,
+    )
+    if not point.identical:
+        point.detail = "stalled-enclave fingerprints diverge"
+    elif not first.breaker_transitions:
+        point.detail = "stall never tripped a breaker (plan too gentle)"
+    return point
+
+
+def _simulator_point(plan: OverloadPlan) -> OverloadPoint:
+    """The simulator leg: shed conservation holds at every slice and the
+    whole run (including shed losses) replays field-identically."""
+    from repro.system.events import arrival, resource_join
+
+    def run():
+        resources, requests, joins, stalls = stalled_enclave_stream(
+            plan.seed, nodes=plan.nodes, horizon=plan.horizon
+        )
+        policy = FrontDoorPolicy(
+            config=ServiceConfig(
+                breaker_failures=2,
+                seed=plan.seed,
+            ),
+            stalls=stalls,
+            verify_brownout=True,
+        )
+        simulator = OpenSystemSimulator(
+            policy,
+            initial_resources=resources,
+            invariant_interval=1,
+        )
+        events = [
+            arrival(r.arrival, r.requirement, label=r.label)
+            for r in requests
+        ]
+        events.extend(
+            resource_join(at, joining) for at, joining in joins
+        )
+        simulator.schedule(*events)
+        return simulator.run(plan.horizon), policy
+
+    report_a, policy_a = run()
+    report_b, _ = run()
+    fp_a = report_fingerprint(report_a)
+    fp_b = report_fingerprint(report_b)
+    admitted = sum(1 for r in report_a.records if r.admitted)
+    point = OverloadPoint(
+        kind="simulator",
+        multiplier=1,
+        offered=len(report_a.records),
+        admitted=admitted,
+        shed=len(report_a.trace.shed_totals()),
+        identical=fp_a == fp_b,
+        brownout_verified=policy_a.door.brownout_verified,
+    )
+    # The extended identity over the whole run; the per-slice version
+    # already ran inside the simulator (invariant_interval=1).
+    gaps = report_a.trace.conservation_gaps(report_a.offered)
+    if gaps:
+        point.detail = "conservation gaps: " + "; ".join(gaps)
+    elif not point.identical:
+        point.detail = "simulator reports diverge: " + ", ".join(
+            diff_fingerprints(fp_a, fp_b)
+        )
+    elif not report_a.trace.shed_totals():
+        point.detail = "no capacity was shed (breaker never walled a join)"
+    return point

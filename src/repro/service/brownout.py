@@ -1,0 +1,69 @@
+"""Brownout: degrade gracefully instead of collapsing.
+
+Under sustained pressure the front door swaps the exact Theorem-4 check
+for the conservative Theorem-1 screen on *low-criticality* arrivals
+(those with slack to spare).  The screen is reject-only — a screen
+failure proves the exact check would refuse too (Theorem 1 is a
+necessary condition, see :mod:`repro.decision.screen`) — and a screen
+pass *defers* rather than admits, so brownout can never hand out a
+promise the full check would have withheld.  Deferred work is reconciled
+with the exact check when pressure drops.
+
+This module holds only the mode controller: enter/exit with hysteresis
+on queue depth (and optionally on the check-latency EWMA), so the mode
+does not flap at the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.intervals.interval import Time
+
+
+class BrownoutController:
+    """Tracks whether the front door is in degraded (brownout) mode."""
+
+    __slots__ = (
+        "_enter_depth",
+        "_exit_depth",
+        "_latency",
+        "active",
+        "transitions",
+    )
+
+    def __init__(
+        self,
+        *,
+        enter_depth: int,
+        exit_depth: int,
+        latency: Optional[Time] = None,
+    ) -> None:
+        self._enter_depth = enter_depth
+        self._exit_depth = exit_depth
+        self._latency = latency
+        self.active = False
+        #: ``(time, "enter" | "exit")`` log for reports and tests.
+        self.transitions: list[tuple[Time, str]] = []
+
+    @property
+    def entries(self) -> int:
+        return sum(1 for _, kind in self.transitions if kind == "enter")
+
+    def update(self, now: Time, depth: int, ewma: Time) -> bool:
+        """Re-evaluate the mode; returns True when it changed."""
+        overloaded = depth >= self._enter_depth or (
+            self._latency is not None and ewma >= self._latency
+        )
+        calm = depth <= self._exit_depth and (
+            self._latency is None or ewma < self._latency
+        )
+        if not self.active and overloaded:
+            self.active = True
+            self.transitions.append((now, "enter"))
+            return True
+        if self.active and calm:
+            self.active = False
+            self.transitions.append((now, "exit"))
+            return True
+        return False

@@ -1,0 +1,136 @@
+"""Service-run summary: what the front door did and what it proved.
+
+The report is the test- and benchmark-facing surface: terminal verdicts
+with their queue waits, breaker/brownout timelines, the decision-log
+fingerprint (replay identity), and — the acceptance criterion —
+:meth:`ServiceReport.queueing_violations`, which must come back empty:
+every admitted schedule fits entirely inside ``(decided_at, deadline)``,
+so queueing delay alone can never have broken an admitted promise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.intervals.interval import Time
+from repro.service.config import ServiceConfig
+from repro.service.frontdoor import (
+    ADMITTED,
+    REJECTED,
+    SHED,
+    AdmissionFrontDoor,
+    ServiceOutcome,
+)
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Immutable summary of one front-door run."""
+
+    config: ServiceConfig
+    horizon: Time
+    outcomes: Tuple[ServiceOutcome, ...]
+    fingerprint: str
+    breaker_transitions: Dict[str, Tuple[Tuple[Time, str, str], ...]]
+    brownout_transitions: Tuple[Tuple[Time, str], ...]
+    brownout_verified: int
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_door(
+        cls, door: AdmissionFrontDoor, horizon: Time
+    ) -> "ServiceReport":
+        return cls(
+            config=door.config,
+            horizon=horizon,
+            outcomes=tuple(door.outcomes),
+            fingerprint=door.fingerprint(),
+            breaker_transitions={
+                enclave: tuple(breaker.transitions)
+                for enclave, breaker in door._breakers.items()
+                if breaker.transitions
+            },
+            brownout_transitions=tuple(door.brownout.transitions),
+            brownout_verified=door.brownout_verified,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> Tuple[ServiceOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.outcome == ADMITTED)
+
+    @property
+    def rejected(self) -> Tuple[ServiceOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.outcome == REJECTED)
+
+    @property
+    def shed(self) -> Tuple[ServiceOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.outcome == SHED)
+
+    @property
+    def goodput(self) -> int:
+        """Admissions — each one a kept promise, by construction."""
+        return len(self.admitted)
+
+    def shed_reasons(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.shed:
+            counts[outcome.reason] = counts.get(outcome.reason, 0) + 1
+        return counts
+
+    def waits(self) -> List[Time]:
+        """Queue waits of requests that reached a check (admit/reject)."""
+        return [
+            o.wait for o in self.outcomes if o.outcome in (ADMITTED, REJECTED)
+        ]
+
+    # ------------------------------------------------------------------
+    def queueing_violations(self) -> List[str]:
+        """Admitted promises that queueing delay already broke — MUST be
+        empty.  A violation would be an admitted schedule consuming
+        before its decision completed (the service promised resources it
+        had already spent as queueing time) or past its deadline."""
+        broken: List[str] = []
+        for outcome in self.admitted:
+            if outcome.schedule is None:
+                continue
+            deadlines = [
+                schedule.requirement.deadline
+                for schedule in outcome.schedule.schedules
+            ]
+            deadline = max(deadlines) if deadlines else None
+            for term in outcome.schedule.consumption().terms():
+                if term.is_null:
+                    continue
+                if term.window.start < outcome.decided_at or (
+                    deadline is not None and term.window.end > deadline
+                ):
+                    broken.append(outcome.label)
+                    break
+        return broken
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Plain-data digest for the CLI and benchmark JSON."""
+        waits = sorted(float(w) for w in self.waits())
+        return {
+            "offered": len(self.outcomes),
+            "admitted": self.goodput,
+            "rejected": len(self.rejected),
+            "shed": len(self.shed),
+            "shed_reasons": self.shed_reasons(),
+            "reconciled": sum(1 for o in self.outcomes if o.reconciled),
+            "breaker_opens": sum(
+                1
+                for transitions in self.breaker_transitions.values()
+                for _, _, to in transitions
+                if to == "open"
+            ),
+            "brownout_entries": sum(
+                1 for _, kind in self.brownout_transitions if kind == "enter"
+            ),
+            "brownout_verified": self.brownout_verified,
+            "max_wait": waits[-1] if waits else 0.0,
+            "fingerprint": self.fingerprint,
+        }

@@ -828,6 +828,31 @@ class OpenSystemSimulator:
         if isinstance(event, ResourceJoinEvent):
             joining = event.resources.truncate_before(state.t)
             tally_offered(joining)
+            # The policy may refuse part of a join at the door (open
+            # circuit breakers wall off a distrusted enclave's capacity).
+            # Refused capacity is *shed*: offered but never acquired, so
+            # it enters the trace as a measured loss and the conservation
+            # identity extends to offered = consumed+expired+lost+shed.
+            accepted = self._admission.admit_resources(joining, state.t)
+            if accepted is not joining:
+                withheld = joining.saturating_minus(accepted)
+                registry = get_registry()
+                shed_totals: Dict[LocatedType, Time] = {}
+                for term in withheld.terms():
+                    if term.is_null:
+                        continue
+                    shed_totals[term.ltype] = (
+                        shed_totals.get(term.ltype, 0) + term.quantity
+                    )
+                for ltype, gone in shed_totals.items():
+                    trace.record_loss(state.t, "shed", ltype, gone)
+                    if registry.enabled:
+                        registry.counter(
+                            "sim_lost_quantity_total",
+                            "capacity lost to faults, by cause and located type",
+                            labels=("cause", "ltype"),
+                        ).inc(float(gone), cause="shed", ltype=str(ltype))
+                joining = accepted
             self._admission.observe_resources(joining, state.t)
             trace.note(state.t, f"resources join: {len(joining.located_types)} types")
             state = acquire(state, joining)

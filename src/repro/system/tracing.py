@@ -27,7 +27,13 @@ from repro.logic.transitions import Transition
 from repro.resources.located_type import LocatedType
 
 #: Causes a capacity loss can carry (anything else is a modelling bug).
-LOSS_CAUSES = ("revocation", "crash", "degradation")
+#: The first three are *faults* — capacity the system believed in that
+#: vanished.  ``"shed"`` is deliberate: capacity the admission front door
+#: refused at the gate (e.g. joins from an enclave whose circuit breaker
+#: is open, see :mod:`repro.service`) — never acquired, so never part of
+#: any promise, but still offered and therefore still owed a leg in the
+#: conservation identity: ``offered = consumed + expired + lost + shed``.
+LOSS_CAUSES = ("revocation", "crash", "degradation", "shed")
 
 
 def _check_cause(cause: str) -> None:
@@ -173,6 +179,10 @@ class SimulationTrace:
     def crash_lost_totals(self) -> Dict[LocatedType, Time]:
         return self.lost_totals("crash")
 
+    def shed_totals(self) -> Dict[LocatedType, Time]:
+        """Capacity deliberately refused at the admission front door."""
+        return self.lost_totals("shed")
+
     def consumption_by_actor(self) -> Dict[str, Dict[LocatedType, Time]]:
         """Who consumed what, over the whole trace."""
         totals: Dict[str, Dict[LocatedType, Time]] = {}
@@ -224,9 +234,15 @@ class SimulationTrace:
                 )
             total = offered.get(ltype, 0)
             if abs(float(accounted) - float(total)) > tolerance:
+                legs = "consumed+expired+lost"
+                if self.lost_totals("shed"):
+                    # deliberate front-door refusals ride in the loss
+                    # records; name the leg so the message matches the
+                    # extended identity offered = c + e + lost + shed
+                    legs = "consumed+expired+lost+shed"
                 gaps.append(
                     f"conservation: {ltype} offered {total} but "
-                    f"accounted (consumed+expired+lost"
+                    f"accounted ({legs}"
                     f"{'+remaining' if remaining is not None else ''}) "
                     f"= {accounted}"
                 )

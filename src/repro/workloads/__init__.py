@@ -9,6 +9,12 @@ from repro.workloads.generator import (
     random_requirement,
     uniform_workload,
 )
+from repro.workloads.overload import (
+    flash_crowd_requests,
+    flash_crowd_requirements,
+    flash_crowd_scenario,
+    stalled_enclave_stream,
+)
 from repro.workloads.persistence import (
     event_from_wire,
     event_to_wire,
@@ -40,6 +46,10 @@ __all__ = [
     "save_events",
     "Scenario",
     "cloud_scenario",
+    "flash_crowd_requests",
+    "flash_crowd_requirements",
+    "flash_crowd_scenario",
     "pipeline_scenario",
+    "stalled_enclave_stream",
     "volunteer_scenario",
 ]

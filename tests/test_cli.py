@@ -93,6 +93,78 @@ class TestScenario:
         assert ">= 0" in err or "expected an integer" in err
 
 
+class TestFrontDoorFlags:
+    def test_front_door_prints_shed_summary(self, capsys):
+        assert main([
+            "scenario", "pipeline", "--seed", "3", "--policy", "rota",
+            "--front-door", "--max-queue", "8", "--brownout-threshold", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rota+door" in out
+        assert "front door (shed/breaker/brownout):" in out
+        assert "shed=" in out and "breaker_opens=" in out
+
+    def test_front_door_wraps_every_policy(self, capsys):
+        assert main([
+            "scenario", "pipeline", "--seed", "3", "--front-door",
+        ]) == 0
+        out = capsys.readouterr().out
+        for name in ("rota", "aggregate", "startpoint", "countbound",
+                     "optimistic"):
+            assert f"{name}+door" in out
+
+    def test_front_door_decisions_are_deterministic(self, capsys):
+        argv = [
+            "scenario", "pipeline", "--seed", "3", "--policy", "rota",
+            "--front-door", "--max-queue", "4", "--shed-policy", "deadline",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--max-queue", "8"),
+        ("--shed-policy", "tail-drop"),
+        ("--brownout-threshold", "6"),
+    ])
+    def test_tuning_flags_without_front_door_rejected(
+        self, flag, value, capsys
+    ):
+        assert main(["scenario", "pipeline", flag, value]) == 2
+        err = capsys.readouterr().err
+        assert flag in err and "--front-door" in err
+
+    def test_front_door_with_resume_rejected(self, tmp_path, capsys):
+        assert main([
+            "scenario", "pipeline", "--policy", "rota", "--front-door",
+            "--resume", "--checkpoint-dir", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--resume" in err and "fresh runs" in err
+
+    def test_unworkable_brownout_threshold_rejected(self, capsys):
+        assert main([
+            "scenario", "pipeline", "--front-door",
+            "--brownout-threshold", "1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "hysteresis" in err
+
+    def test_bad_shed_policy_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "pipeline", "--front-door",
+                  "--shed-policy", "coin-flip"])
+        assert excinfo.value.code == 2
+
+    def test_zero_max_queue_rejected(self, capsys):
+        assert main([
+            "scenario", "pipeline", "--front-door", "--max-queue", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "max_queue" in err
+
+
 class TestCheck:
     def test_admitted(self, tmp_path, capsys):
         path = write_request(tmp_path, quantity=30)

@@ -184,6 +184,11 @@ FIXTURES = {
         {"kind": "fault_plan", "seed": 1, "revocation_rate": 2.5},
         {"kind": "fault_plan", "seed": 1, "revocation_rate": 0.25},
     ),
+    "spec-service": (
+        # brownout hysteresis needs exit < enter or the mode flaps
+        {"kind": "service_config", "brownout_enter": 4, "brownout_exit": 8},
+        {"kind": "service_config", "brownout_enter": 8, "brownout_exit": 3},
+    ),
 }
 
 
