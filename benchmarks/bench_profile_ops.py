@@ -13,7 +13,14 @@ experiment measures the rebuilt hot path against the retained
   controller; the incremental expiring-slack cache vs a reference
   controller that recomputes ``available - committed`` before every
   attempt.  Decisions must not diverge *at all*: the speedup only counts
-  because the answers are identical.
+  because the answers are identical.  The workload runs twice: once with
+  float (inexact) quantities, where the vectorized numpy kernels carry
+  the profile algebra — the headline ``admission`` row — and once with
+  integer (exact) quantities on the Fraction-safe scalar path
+  (``admission_exact``).  The float workload uses dyadic rationals
+  (halves over power-of-two durations) so every intermediate sum is
+  exact in double precision and the zero-divergence gate is meaningful
+  rather than luck.
 
 Results (timings plus speedup factors) are written to
 ``BENCH_profile_ops.json`` so CI history can track regressions.
@@ -100,15 +107,25 @@ def bench_aggregation(segments: int) -> Dict[str, float]:
 # Admission-heavy workload
 # ----------------------------------------------------------------------
 
-def _arrivals(count: int, horizon: int, seed: int = 1):
+def _arrivals(count: int, horizon: int, seed: int = 1, *, inexact: bool = False):
     rng = random.Random(seed)
     out = []
     for index in range(count):
-        start = rng.randrange(0, horizon - 12)
+        start = rng.randrange(0, horizon - 20)
+        if inexact:
+            # Dyadic float demands over power-of-two durations: the witness
+            # rates stay exactly representable, so the vectorized and
+            # scalar float paths agree bit for bit and zero decision
+            # divergence is a real property, not rounding luck.
+            amount = rng.randrange(2, 8) / 2.0
+            duration = 2 ** rng.randrange(3, 5)
+        else:
+            amount = rng.randrange(1, 4)
+            duration = rng.randrange(6, 14)
         out.append(
             ComplexRequirement(
-                [Demands({cpu("l1"): rng.randrange(1, 4)})],
-                Interval(start, start + rng.randrange(6, 14)),
+                [Demands({cpu("l1"): amount})],
+                Interval(start, start + duration),
                 label=f"job{index}",
             )
         )
@@ -165,15 +182,24 @@ class _naive_profile_ops:
         return False
 
 
-def bench_admission(count: int, horizon: int) -> Dict[str, float]:
+def bench_admission(
+    count: int, horizon: int, *, inexact: bool = False
+) -> Dict[str, float]:
     """The same seeded workload through the same controller twice: once on
     the fast paths, once with the naive reference ops patched in.  The
     reference cost grows roughly cubically in the admitted count (every
     admission subtracts over the full slack profile, and the naive
     subtraction is itself quadratic in breakpoints), so the measured
-    speedup *understates* what larger systems gain."""
-    available = ResourceSet.of(term(60, cpu("l1"), 0, horizon))
-    arrivals = _arrivals(count, horizon)
+    speedup *understates* what larger systems gain.
+
+    With ``inexact=True`` the capacity and demands are floats, which
+    routes every profile operation through the vectorized numpy kernels
+    (:mod:`repro.resources._vectorized`) instead of the Fraction-safe
+    scalar sweeps — the configuration the >=200x acceptance bar targets.
+    """
+    capacity = 60.0 if inexact else 60
+    available = ResourceSet.of(term(capacity, cpu("l1"), 0, horizon))
+    arrivals = _arrivals(count, horizon, inexact=inexact)
 
     fast_decisions: List[bool] = []
     reference_decisions: List[bool] = []
@@ -195,6 +221,7 @@ def bench_admission(count: int, horizon: int) -> Dict[str, float]:
     return {
         "arrivals": count,
         "admitted": sum(fast_decisions),
+        "kernel": "vectorized-float" if inexact else "exact-scalar",
         "fast_s": fast,
         "reference_s": reference,
         "speedup": reference / fast if fast else float("inf"),
@@ -209,19 +236,31 @@ def run_suite(*, quick: bool = False) -> Dict[str, Dict[str, float]]:
         results = {
             "point_queries": bench_point_queries(breaks=400, queries=800),
             "aggregation": bench_aggregation(segments=250),
-            "admission": bench_admission(count=120, horizon=300),
+            "admission": bench_admission(count=120, horizon=300, inexact=True),
+            "admission_exact": bench_admission(count=120, horizon=300),
         }
     else:
         results = {
             "point_queries": bench_point_queries(breaks=2000, queries=5000),
             "aggregation": bench_aggregation(segments=1200),
-            # The reference leg takes minutes here: the naive ops are
+            # The reference legs take minutes here: the naive ops are
             # cubic in the admitted count (see bench_admission).
-            "admission": bench_admission(count=1000, horizon=1700),
+            "admission": bench_admission(
+                count=2000, horizon=3400, inexact=True
+            ),
+            "admission_exact": bench_admission(count=1000, horizon=1700),
         }
-        # Acceptance: 1k+ admitted, >= 5x end-to-end, zero divergence.
+        # Acceptance: 1k+ admitted and zero divergence on both paths;
+        # >= 200x for the vectorized float headline, >= 5x for the
+        # Fraction-safe exact path.
         assert results["admission"]["admitted"] >= 1000, results["admission"]
-        assert results["admission"]["speedup"] >= 5.0, results["admission"]
+        assert results["admission"]["speedup"] >= 200.0, results["admission"]
+        assert results["admission_exact"]["admitted"] >= 1000, (
+            results["admission_exact"]
+        )
+        assert results["admission_exact"]["speedup"] >= 5.0, (
+            results["admission_exact"]
+        )
     return results
 
 
@@ -250,6 +289,7 @@ def test_fast_paths_agree_and_win(benchmark):
         lambda: run_suite(quick=True), rounds=1, iterations=1
     )
     assert results["admission"]["decision_divergence"] == 0
+    assert results["admission_exact"]["decision_divergence"] == 0
     # Quick sizes are small; demand agreement always, dominance loosely.
     assert results["point_queries"]["speedup"] > 1.0
     benchmark.extra_info["table"] = _render(results)

@@ -117,9 +117,18 @@ class Rule:
     description: str = ""
     severity: str = "error"
     scope: Optional[Tuple[str, ...]] = None
+    #: Dotted-module prefixes carved *out* of ``scope`` — for sanctioned
+    #: enclaves inside a governed package (e.g. the float64 vector
+    #: kernels inside the exact-arithmetic ``repro.resources``).
+    exempt: Tuple[str, ...] = ()
 
     def applies_to(self, module: Optional[str]) -> bool:
         if module is None:
+            return False
+        if any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.exempt
+        ):
             return False
         if self.scope is None:
             return module == "repro" or module.startswith("repro.")

@@ -60,6 +60,16 @@ PACKAGE_OVERRIDES: Dict[str, FrozenSet[str]] = {
     "observability": frozenset({"errors"}),
 }
 
+#: Third-party imports pinned to specific modules.  ``numpy`` backs the
+#: *inexact* (float64) profile path only: the exact Fraction path and
+#: the ``_reference_*`` oracles must never acquire a numpy dependency,
+#: so the import is legal solely inside the declared vector-kernel
+#: module of ``repro.resources``.  Values are dotted-module prefixes
+#: (matched at package boundaries, like rule scopes).
+THIRD_PARTY_PINS: Dict[str, Tuple[str, ...]] = {
+    "numpy": ("repro.resources._vectorized",),
+}
+
 _LAYER_INDEX: Dict[str, int] = {}
 _LAYER_NAME: Dict[str, str] = {}
 for _index, (_layer, _packages) in enumerate(LAYERS):
@@ -121,6 +131,27 @@ def import_violation(package: str, target: str) -> Optional[str]:
         f"repro.{package} (layer '{source_layer}') must not import "
         f"repro.{target} (layer '{target_layer}'): imports point strictly "
         "downward in the layering map"
+    )
+
+
+def third_party_pin_violation(
+    module: Optional[str], target: str
+) -> Optional[str]:
+    """Human message if ``module`` importing third-party ``target``
+    breaks a :data:`THIRD_PARTY_PINS` entry, else ``None``."""
+    top = target.split(".")[0]
+    allowed = THIRD_PARTY_PINS.get(top)
+    if allowed is None:
+        return None
+    if module is not None and any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in allowed
+    ):
+        return None
+    return (
+        f"import of {top} outside {{{', '.join(sorted(allowed))}}}: "
+        f"{top} is pinned to the inexact vector kernels so the exact "
+        "arithmetic path can never silently depend on it"
     )
 
 
@@ -191,3 +222,21 @@ class LayeringRule(Rule):
             message = import_violation(package, target)
             if message is not None:
                 yield self.finding(source, node, message)
+        for node, target in _imported_third_party(source.tree):
+            message = third_party_pin_violation(source.module, target)
+            if message is not None:
+                yield self.finding(source, node, message)
+
+
+def _imported_third_party(tree: ast.AST) -> Iterator[Tuple[ast.stmt, str]]:
+    """Yield ``(import statement, dotted target)`` for absolute imports
+    of non-``repro`` modules (relative imports are repro-internal)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] != "repro":
+                    yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module is not None:
+                if node.module.split(".")[0] != "repro":
+                    yield node, node.module

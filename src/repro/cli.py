@@ -133,35 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir/<policy>/ instead of starting fresh "
         "(requires a single explicit --policy)",
     )
-    door = scenario.add_argument_group(
-        "overload protection",
-        "deadline-aware admission front door (repro.service): bounded "
-        "queues, load shedding, per-enclave circuit breakers, brownout",
-    )
-    door.add_argument(
-        "--front-door", action="store_true",
-        help="run every policy behind the admission front door "
-        "(bounded queues + deadline-aware shedding) and print the "
-        "shed/breaker/brownout summary",
-    )
-    door.add_argument(
-        "--max-queue", type=_nonnegative_int, default=None, metavar="N",
-        help="per-enclave queue bound; arrivals beyond it are shed "
-        "(default: 64; requires --front-door)",
-    )
-    door.add_argument(
-        "--shed-policy", choices=SHED_POLICIES, default=None,
-        help="what to shed when queues fill: 'deadline' drops requests "
-        "whose slack cannot survive the estimated wait, 'tail-drop' "
-        "drops newest arrivals (default: deadline; requires --front-door)",
-    )
-    door.add_argument(
-        "--brownout-threshold", type=_nonnegative_int, default=None,
-        metavar="DEPTH",
-        help="total queue depth at which the door degrades low-criticality "
-        "requests to the conservative screen (default: 48; "
-        "requires --front-door)",
-    )
+    _add_front_door_flags(scenario)
     _add_metrics_flags(scenario)
 
     check = sub.add_parser("check", help="one-shot admission check from JSON")
@@ -199,8 +171,41 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[cls.name for cls in ALL_POLICIES],
         default="rota",
     )
+    _add_front_door_flags(replay)
     _add_metrics_flags(replay)
     return parser
+
+
+def _add_front_door_flags(parser: argparse.ArgumentParser) -> None:
+    door = parser.add_argument_group(
+        "overload protection",
+        "deadline-aware admission front door (repro.service): bounded "
+        "queues, load shedding, per-enclave circuit breakers, brownout",
+    )
+    door.add_argument(
+        "--front-door", action="store_true",
+        help="run the policy behind the admission front door "
+        "(bounded queues + deadline-aware shedding) and print the "
+        "shed/breaker/brownout summary",
+    )
+    door.add_argument(
+        "--max-queue", type=_nonnegative_int, default=None, metavar="N",
+        help="per-enclave queue bound; arrivals beyond it are shed "
+        "(default: 64; requires --front-door)",
+    )
+    door.add_argument(
+        "--shed-policy", choices=SHED_POLICIES, default=None,
+        help="what to shed when queues fill: 'deadline' drops requests "
+        "whose slack cannot survive the estimated wait, 'tail-drop' "
+        "drops newest arrivals (default: deadline; requires --front-door)",
+    )
+    door.add_argument(
+        "--brownout-threshold", type=_nonnegative_int, default=None,
+        metavar="DEPTH",
+        help="total queue depth at which the door degrades low-criticality "
+        "requests to the conservative screen (default: 48; "
+        "requires --front-door)",
+    )
 
 
 def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
@@ -232,7 +237,10 @@ def _check_metrics_flags(args: argparse.Namespace) -> str | None:
 
 
 def _check_front_door_flags(args: argparse.Namespace) -> str | None:
-    """Front-door tuning flags mean nothing without the front door."""
+    """Front-door tuning flags mean nothing without the front door.
+
+    Shared by ``scenario`` and ``replay``; only ``scenario`` has
+    ``--resume``, hence the ``getattr``."""
     tuned = [
         flag
         for flag, value in (
@@ -249,7 +257,7 @@ def _check_front_door_flags(args: argparse.Namespace) -> str | None:
             "behind it, or drop "
             f"{'the flag' if len(tuned) == 1 else 'the flags'}"
         )
-    if args.front_door and args.resume:
+    if args.front_door and getattr(args, "resume", False):
         return (
             "--resume restores the recorded policy (front door included) "
             "from the checkpoint; front-door flags shape fresh runs only"
@@ -265,7 +273,8 @@ def _service_config(args: argparse.Namespace):
     """
     from repro.service import ServiceConfig
 
-    kwargs: dict = {"seed": args.seed or 0}
+    # replay has no --seed; the door's tie-breaking seed defaults to 0.
+    kwargs: dict = {"seed": getattr(args, "seed", None) or 0}
     if args.max_queue is not None:
         kwargs["max_queue"] = args.max_queue
     if args.shed_policy is not None:
@@ -550,6 +559,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if metrics_error is not None:
         print(f"error: {metrics_error}", file=sys.stderr)
         return 2
+    door_error = _check_front_door_flags(args)
+    if door_error is not None:
+        print(f"error: {door_error}", file=sys.stderr)
+        return 2
+    service_config = None
+    if args.front_door:
+        from repro.errors import ServiceConfigError
+
+        try:
+            service_config = _service_config(args)
+        except ServiceConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         if args.resources is not None:
             with open(args.resources) as handle:
@@ -569,6 +591,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     policy_cls = next(cls for cls in ALL_POLICIES if cls.name == args.policy)
     policy = policy_cls()
     allocation = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+    if service_config is not None:
+        from repro.service import FrontDoorPolicy
+
+        policy = FrontDoorPolicy(policy, service_config)
     with _metrics_session(args):
         simulator = OpenSystemSimulator(
             policy, initial_resources=initial, allocation_policy=allocation
@@ -576,6 +602,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         simulator.schedule(*events)
         report = simulator.run(args.horizon)
     print(policy_table([score(report)], title=f"replay of {args.trace}"))
+    if service_config is not None:
+        print("front door (shed/breaker/brownout):")
+        print(_door_summary_line(policy, args.horizon))
     return 0
 
 

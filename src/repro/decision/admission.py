@@ -167,6 +167,29 @@ class AdmissionController:
                     labels=("result",),
                 ).inc(result="hit")
 
+    # ------------------------------------------------------------------
+    # Pickling (checkpoint payloads)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Elide the slack cache from pickles when it is derivable.
+
+        ``_slack`` is ``available - committed`` maintained incrementally;
+        serializing it duplicates both operands' profiles in every
+        checkpoint.  It is persisted only when it has *drifted* from the
+        derivable value (possible under unannounced revocation), so a
+        restored controller is field-for-field identical to the live one
+        while fault-free checkpoints stay lean.
+        """
+        state = dict(self.__dict__)
+        if state["_slack"] == self.reference_slack():
+            state["_slack"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._slack is None:
+            self._slack = self.reference_slack()
+
     @property
     def admitted_labels(self) -> tuple[str, ...]:
         return tuple(self._schedules)

@@ -33,6 +33,19 @@ naive implementations are retained below as ``_reference_*`` oracles;
 ``tests/test_profile_fastpath.py`` asserts exact agreement over
 exhaustive small-integer enumerations, and ``benchmarks/
 bench_profile_ops.py`` tracks the speedup.
+
+Two arithmetic regimes share that surface.  **Exact** profiles (every
+coordinate int/Fraction) stay on the scalar fast path above — the
+correctness oracle chain (`_reference_*` -> scalar fast path) is never
+perturbed by vectorization.  **Inexact** profiles (``is_exact()`` false
+for some coordinate) batch onto numpy float64 vectors in
+:mod:`repro.resources._vectorized` whenever every coordinate is
+losslessly float64-representable; the kernels reproduce the scalar
+float path's IEEE-754 operation order bit-for-bit (differentially
+fuzzed in ``tests/test_profile_differential.py``).  One visible
+canonicalization: vec-built profiles carry float coordinates, so an
+int that rode along in an inexact profile comes back as the equal
+float (``2 -> 2.0``).
 """
 
 from __future__ import annotations
@@ -41,11 +54,12 @@ import itertools
 import math
 from bisect import bisect_left, bisect_right
 from numbers import Rational
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidTermError, UndefinedOperationError
 from repro.intervals.interval import Interval, Time
 from repro.intervals.intervalset import IntervalSet
+from repro.resources import _vectorized as _vec
 
 #: Tolerance used when float arithmetic is involved.  Exact numeric types
 #: (int, Fraction) never need it.
@@ -103,7 +117,9 @@ def _normalise(points: Iterable[Tuple[Time, Time]]) -> tuple[Tuple[Time, Time], 
 class RateProfile:
     """An immutable, piecewise-constant, non-negative function of time."""
 
-    __slots__ = ("_points", "_times", "_cum", "_exact")
+    __slots__ = (
+        "_pts", "_times", "_cum", "_exact", "_vt", "_vr", "_vok", "_rl"
+    )
 
     def __init__(self, points: Iterable[Tuple[Time, Time]] = ()) -> None:
         pts = _normalise(points)
@@ -112,10 +128,41 @@ class RateProfile:
                 raise InvalidTermError("profile rate must not be NaN")
             if rate < 0:
                 raise InvalidTermError(f"profile rate must be >= 0, got {rate!r} at t={time!r}")
-        self._points = pts
+        self._pts: Optional[tuple] = pts
         self._times: Optional[list] = None
         self._cum: Optional[list] = None
         self._exact: Optional[bool] = None
+        self._vt = None
+        self._vr = None
+        self._vok: Optional[bool] = None
+        self._rl: Optional[list] = None
+
+    @property
+    def _points(self) -> tuple[Tuple[Time, Time], ...]:
+        """Canonical breakpoint tuples.
+
+        Vec-built profiles carry their breakpoints as float64 arrays and
+        materialize the tuples only when something actually needs them
+        (equality, pickling, the scalar fallbacks): the hot admission
+        chains — subtract, cap, integral, accumulation walks — stay on
+        the arrays end to end."""
+        pts = self._pts
+        if pts is None:
+            pts = tuple(zip(self._vt.tolist(), self._vr.tolist()))
+            self._pts = pts
+        return pts
+
+    def _rates(self) -> list:
+        """Rates by breakpoint position, built lazily (vec-built
+        profiles read straight off the rate array)."""
+        rl = self._rl
+        if rl is None:
+            if self._pts is None:
+                rl = self._vr.tolist()
+            else:
+                rl = [r for _, r in self._pts]
+            self._rl = rl
+        return rl
 
     def _ensure_index(self) -> None:
         """Build the lookup index on first use: breakpoint times for
@@ -124,7 +171,13 @@ class RateProfile:
         drift-free)."""
         if self._times is not None:
             return
-        pts = self._points
+        if self._pts is None:
+            # Vec-built: inexact by construction, times off the array;
+            # the cumulative array stays unbuilt (exact path only).
+            self._times = self._vt.tolist()
+            self._exact = False
+            return
+        pts = self._pts
         times = [t for t, _ in pts]
         cum: list = [0] * len(pts)
         exact = True
@@ -138,6 +191,65 @@ class RateProfile:
         self._times = times
         self._cum = cum
         self._exact = exact
+
+    def _vector_index(self):
+        """Float64 ``(times, rates)`` arrays for the vectorized kernels,
+        or ``None`` when the profile is not losslessly representable
+        (Fraction coordinates, huge ints) or numpy is unavailable."""
+        if self._vok is None:
+            if _vec.HAVE_NUMPY and _vec.points_safe(self._points):
+                self._vt, self._vr = _vec.arrays_from_points(self._points)
+                self._vok = True
+            else:
+                self._vok = False
+        return (self._vt, self._vr) if self._vok else None
+
+    def _vector_pair(self, other: "RateProfile"):
+        """Operand arrays for a vectorized binary op, or ``None`` when
+        the op must stay scalar.  Vectorization is auto-selected only
+        when the operation is inexact — both operands exact means the
+        scalar fast path (the reference-pinned oracle chain) answers."""
+        if self._exact is None:
+            self._ensure_index()
+        if other._exact is None:
+            other._ensure_index()
+        if self._exact and other._exact:
+            return None
+        va = self._vector_index()
+        if va is None:
+            return None
+        vb = other._vector_index()
+        if vb is None:
+            return None
+        return va, vb
+
+    @classmethod
+    def _from_float_arrays(cls, times, rates) -> "RateProfile":
+        """Adopt normalised float64 arrays as a profile.
+
+        Vec-kernel results only: the arrays are already sorted, unique
+        in time, rate-merged, and validated, so construction skips
+        ``_normalise`` and pre-seeds both the scalar index and the
+        vector index."""
+        if len(times) == 0:
+            return _ZERO
+        profile = cls.__new__(cls)
+        profile._pts = None  # materialized on demand from the arrays
+        profile._times = None
+        profile._cum = None  # only consulted on the exact path
+        profile._exact = False
+        profile._vt = times
+        profile._vr = rates
+        profile._vok = True
+        profile._rl = None
+        return profile
+
+    def __reduce__(self):
+        # Serialize the canonical breakpoints only: the lazy scalar and
+        # vector indexes are caches, rebuilt on demand after unpickling
+        # (keeps checkpoint payloads small and independent of which
+        # queries happened to run before the snapshot).
+        return (RateProfile, (self._points,))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -173,6 +285,13 @@ class RateProfile:
         if not live:
             return _ZERO
         if not exact:
+            if _vec.HAVE_NUMPY and all(
+                _vec.coordinate_safe(start)
+                and _vec.coordinate_safe(end)
+                and _vec.coordinate_safe(rate)
+                for start, end, rate in live
+            ):
+                return cls._from_float_arrays(*_vec.from_segments(live))
             # Float rates: per-breakpoint left-fold keeps bit-identical
             # results with the repeated-addition definition.
             return cls.sum(
@@ -209,6 +328,12 @@ class RateProfile:
             return _ZERO
         if len(live) == 1:
             return live[0]
+        for p in live:
+            p._ensure_index()
+        if not all(p._exact for p in live):
+            arrays = [p._vector_index() for p in live]
+            if all(a is not None for a in arrays):
+                return cls._from_float_arrays(*_vec.sum_profiles(arrays))
         point_lists = [p._points for p in live]
         times = sorted({t for pts in point_lists for t, _ in pts})
         rates: list[Time] = [0] * len(live)
@@ -241,15 +366,37 @@ class RateProfile:
 
     @property
     def is_zero(self) -> bool:
-        return not self._points
+        pts = self._pts
+        if pts is None:
+            return False  # vec-built profiles are never empty
+        return not pts
 
     def rate_at(self, t: Time) -> Time:
         """The rate in effect at time ``t`` (``O(log n)``)."""
-        if not self._points:
+        if self.is_zero:
             return 0
         self._ensure_index()
         i = bisect_right(self._times, t) - 1
-        return self._points[i][1] if i >= 0 else 0
+        return self._rates()[i] if i >= 0 else 0
+
+    def rates_at(self, ts: Sequence[Time]) -> List[Time]:
+        """Batch :meth:`rate_at`: the rate in effect at each query time.
+
+        One vectorized bisection over all queries when both the profile
+        and the query times are float64-safe; the results are the stored
+        rate objects either way, identical to mapping :meth:`rate_at`.
+        """
+        if self.is_zero:
+            return [0] * len(ts)
+        if _vec.HAVE_NUMPY and all(_vec.coordinate_safe(t) for t in ts):
+            va = self._vector_index()
+            if va is not None:
+                rates = self._rates()
+                return [
+                    rates[i] if i >= 0 else 0
+                    for i in _vec.rate_indices(va, ts).tolist()
+                ]
+        return [self.rate_at(t) for t in ts]
 
     def segments(self) -> Iterator[Tuple[Interval, Time]]:
         """Maximal constant-rate segments with positive rate.
@@ -273,7 +420,10 @@ class RateProfile:
     def horizon(self) -> Time:
         """Last breakpoint time (0 for the zero profile).  Past the
         horizon the rate is constant (usually zero)."""
-        return self._points[-1][0] if self._points else 0
+        pts = self._pts
+        if pts is not None:
+            return pts[-1][0] if pts else 0
+        return self._vt[-1].item()  # vec-built: never empty
 
     @property
     def peak_rate(self) -> Time:
@@ -287,7 +437,7 @@ class RateProfile:
         i = bisect_right(times, t) - 1
         if i < 0:
             return 0
-        rate = self._points[i][1]
+        rate = self._rates()[i]
         if rate == 0 or times[i] == t:
             return cum[i]
         return cum[i] + rate * (t - times[i])
@@ -306,21 +456,30 @@ class RateProfile:
         start, end = window.start, window.end
         if self._exact and is_exact(start) and is_exact(end):
             return self._cumulative(end) - self._cumulative(start)
+        if _vec.coordinate_safe(start) and _vec.coordinate_safe(end):
+            va = self._vector_index()
+            if va is not None:
+                return _vec.integral(va, start, end)
         times = self._times
-        pts = self._points
+        rates = self._rates()
         lo = bisect_right(times, start) - 1
         if lo < 0:
             lo = 0
         hi = bisect_left(times, end)
         total: Time = 0
         for i in range(lo, hi):
-            rate = pts[i][1]
+            rate = rates[i]
             if rate == 0:
                 continue
             seg_start = times[i]
             seg_end = times[i + 1] if i + 1 < len(times) else math.inf
-            s = seg_start if seg_start > start else start
-            e = seg_end if seg_end < end else end
+            # Tie-break like ``max``/``min`` (first operand wins) so a
+            # breakpoint coinciding with a window edge under a different
+            # numeric type (``1`` vs ``1.0`` vs ``Fraction(1)``) picks
+            # the same operand — and hence the same rounding — as the
+            # reference oracle's ``segment.intersection(window)``.
+            s = seg_start if seg_start >= start else start
+            e = seg_end if seg_end <= end else end
             if e > s:
                 total += rate * (e - s)
         return total
@@ -338,7 +497,8 @@ class RateProfile:
             return 0
         lo = bisect_right(times, start) - 1
         hi = bisect_left(times, end)
-        return min(self._points[i][1] for i in range(lo, hi))
+        rates = self._rates()
+        return min(rates[i] for i in range(lo, hi))
 
     def earliest_accumulation(self, start: Time, quantity: Time) -> Optional[Time]:
         """The earliest ``t >= start`` with ``integral((start, t)) >= quantity``.
@@ -355,13 +515,13 @@ class RateProfile:
             return None
         self._ensure_index()
         times = self._times
-        pts = self._points
+        rates = self._rates()
         remaining = quantity
         lo = bisect_right(times, start) - 1
         if lo < 0:
             lo = 0
-        for i in range(lo, len(pts)):
-            rate = pts[i][1]
+        for i in range(lo, len(rates)):
+            rate = rates[i]
             if rate == 0:
                 continue
             seg_start = times[i]
@@ -388,11 +548,11 @@ class RateProfile:
             return None
         self._ensure_index()
         times = self._times
-        pts = self._points
+        rates = self._rates()
         remaining = quantity
         hi = bisect_left(times, end)  # segments hi.. start at or after end
         for i in range(hi - 1, -1, -1):
-            rate = pts[i][1]
+            rate = rates[i]
             if rate == 0:
                 continue
             seg_start = times[i]
@@ -436,6 +596,9 @@ class RateProfile:
             return other
         if other.is_zero:
             return self
+        pair = self._vector_pair(other)
+        if pair is not None:
+            return RateProfile._from_float_arrays(*_vec.add(*pair))
         return RateProfile(
             (t, ra + rb) for t, ra, rb in self._merged_rates(other)
         )
@@ -450,6 +613,22 @@ class RateProfile:
         """
         if other.is_zero:
             return self
+        # Vectorize only under a sub-unit tolerance: integer-valued
+        # differences are exact for the scalar path (they raise however
+        # small), and any |diff| >= 1 also exceeds a sub-unit tolerance,
+        # so the float64 kernel cannot mistake one for snappable dust.
+        pair = self._vector_pair(other) if tolerance < 1 else None
+        if pair is not None:
+            result = _vec.subtract(*pair, tolerance)
+            if result[0] == "negative":
+                _, t, ra, rb = result
+                raise UndefinedOperationError(
+                    f"subtraction would make the rate negative at t={t!r} "
+                    f"({ra!r} - {rb!r})"
+                )
+            if result[0] == "nan":
+                raise InvalidTermError("profile rate must not be NaN")
+            return RateProfile._from_float_arrays(result[1], result[2])
         points: list[Tuple[Time, Time]] = []
         for t, ra, rb in self._merged_rates(other):
             value = ra - rb
@@ -477,6 +656,9 @@ class RateProfile:
         """
         if other.is_zero:
             return self
+        pair = self._vector_pair(other)
+        if pair is not None:
+            return RateProfile._from_float_arrays(*_vec.saturating_sub(*pair))
         return RateProfile(
             (t, max(0, ra - rb)) for t, ra, rb in self._merged_rates(other)
         )
@@ -512,6 +694,9 @@ class RateProfile:
         """Pointwise minimum with another profile."""
         if self.is_zero or ceiling.is_zero:
             return _ZERO
+        pair = self._vector_pair(ceiling)
+        if pair is not None:
+            return RateProfile._from_float_arrays(*_vec.cap(*pair))
         return RateProfile(
             (t, min(ra, rb)) for t, ra, rb in self._merged_rates(ceiling)
         )
@@ -520,6 +705,9 @@ class RateProfile:
         """Pointwise ``self >= other`` everywhere."""
         if other.is_zero:
             return True
+        pair = self._vector_pair(other)
+        if pair is not None:
+            return _vec.dominates(*pair)
         for _, ra, rb in self._merged_rates(other):
             if ra < rb:
                 return False
@@ -585,18 +773,27 @@ def _reference_integral(profile: RateProfile, window: Interval) -> Time:
 
 
 def _reference_min_rate(profile: RateProfile, window: Interval) -> Time:
-    """Full segment-scan ``min_rate`` with explicit coverage accounting."""
+    """Full segment-scan ``min_rate`` with explicit coverage accounting.
+
+    Coverage is tracked as a frontier over the (time-ordered, gap-free
+    within support) segments rather than by summing durations: a sum of
+    mixed float/Fraction durations accrues rounding dust and can declare
+    a fully-covered window uncovered (returning a spurious 0).  The
+    frontier only *compares* coordinates, which is exact for every
+    supported numeric type.
+    """
     if window.is_empty:
         raise UndefinedOperationError("min_rate over an empty window")
     lowest: Optional[Time] = None
-    covered: Time = 0
+    frontier = window.start
     for segment, rate in profile.segments():
         common = segment.intersection(window)
         if common.is_empty:
             continue
-        covered += common.duration
+        if common.start <= frontier and common.end > frontier:
+            frontier = common.end
         lowest = rate if lowest is None else min(lowest, rate)
-    if lowest is None or covered < window.duration:
+    if lowest is None or frontier < window.end:
         return 0
     return lowest
 

@@ -169,14 +169,20 @@ class ResourceSet:
         Per the paper, defined only when every subtrahend term is dominated
         by available resources; otherwise raises
         :class:`UndefinedOperationError` (terms cannot go negative).
+
+        Domination is not pre-checked: ``subtract`` already detects the
+        first rate that would go negative, so a separate ``dominates``
+        pass would merge every profile pair twice.  This is the dominant
+        cost of admission control's per-request slack recomputation.
         """
-        if not self.dominates(other):
-            raise UndefinedOperationError(
-                "relative complement undefined: subtrahend not dominated"
-            )
         out = dict(self._profiles)
         for ltype, prof in other._profiles.items():
-            out[ltype] = out[ltype].subtract(prof)
+            try:
+                out[ltype] = out.get(ltype, RateProfile.zero()).subtract(prof)
+            except UndefinedOperationError as exc:
+                raise UndefinedOperationError(
+                    "relative complement undefined: subtrahend not dominated"
+                ) from exc
         return ResourceSet.from_profiles(out)
 
     def saturating_minus(self, other: "ResourceSet") -> "ResourceSet":

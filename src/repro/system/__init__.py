@@ -20,8 +20,11 @@ from repro.system.events import (
 )
 from repro.system.checkpoint import (
     CheckpointStore,
+    DeltaSnapshotter,
     Journal,
     SimulatorCheckpoint,
+    VersionedDict,
+    VersionedSet,
     atomic_writer,
     latest_checkpoint,
 )
@@ -63,8 +66,11 @@ __all__ = [
     "FcfsPolicy",
     "ReservationPolicy",
     "CheckpointStore",
+    "DeltaSnapshotter",
     "Journal",
     "SimulatorCheckpoint",
+    "VersionedDict",
+    "VersionedSet",
     "atomic_writer",
     "latest_checkpoint",
     "ComputationRecord",

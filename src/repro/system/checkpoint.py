@@ -22,6 +22,21 @@ regenerated record is *verified* against the journaled one — an admission
 promise recorded before the crash is replayed, never re-decided; any
 divergence raises :class:`~repro.errors.CheckpointError` instead of
 silently rewriting history.
+
+**Incremental checkpoints.**  Pickling the full simulator state every
+cadence is dominated by the trace, which only ever *grows*.  A
+:class:`DeltaSnapshotter` therefore emits most checkpoints as **deltas**
+against the immediately preceding snapshot: only sections whose pickled
+bytes changed (or whose :class:`VersionedDict`/:class:`VersionedSet`
+version counter moved) are included, and the trace is encoded as the
+suffix appended since the base.  Deltas carry a ``format_version`` 2
+envelope naming their base (``base_step`` + ``base_sha256``); full
+snapshots keep the version-1 envelope, so old readers still restore
+them.  Every ``full_interval`` deltas — and always immediately after a
+resume, since the delta cache dies with the process — a full snapshot
+reseeds the chain.  :meth:`CheckpointStore.latest` validates the whole
+chain before nominating a file: a delta whose base is missing, corrupt,
+or checksum-mismatched is skipped in favour of an older snapshot.
 """
 
 from __future__ import annotations
@@ -45,9 +60,14 @@ Opener = Callable[..., Any]
 
 #: Wire version of the journal's JSONL records.
 JOURNAL_FORMAT_VERSION = 1
-#: Wire version of the checkpoint envelope.
-CHECKPOINT_FORMAT_VERSION = 1
+#: Wire version of the checkpoint envelope.  Full snapshots are written
+#: as version 1 (unchanged on-disk shape); delta checkpoints need the
+#: version-2 envelope for their base reference.
+CHECKPOINT_FORMAT_VERSION = 2
 _CHECKPOINT_MAGIC = "rota-checkpoint"
+#: A full snapshot reseeds the delta chain after this many deltas,
+#: bounding both restore cost and the blast radius of a lost base.
+DEFAULT_FULL_INTERVAL = 8
 
 
 # ----------------------------------------------------------------------
@@ -308,7 +328,7 @@ def check_journal_header(record: Dict[str, Any], path: PathLike) -> None:
 
 @dataclass(frozen=True)
 class SimulatorCheckpoint:
-    """One atomic snapshot of a running simulation.
+    """One atomic snapshot (or delta) of a running simulation.
 
     ``payload`` is the pickled simulator state (see
     :meth:`repro.system.simulator.OpenSystemSimulator._snapshot`);
@@ -316,27 +336,44 @@ class SimulatorCheckpoint:
     when the snapshot was taken, i.e. where replay-verification starts;
     ``sequence`` is the global event-sequence counter
     (:func:`repro.system.events.sequence_value`) to restore on resume.
+
+    ``kind`` is ``"full"`` for a self-contained snapshot or ``"delta"``
+    for an incremental one; a delta's ``payload`` is a pickled
+    changed-section/trace-suffix bundle (see :class:`DeltaSnapshotter`)
+    that only materializes on top of the base checkpoint identified by
+    ``base_step`` and sealed by ``base_sha256``.
     """
 
     step: int
     journal_records: int
     sequence: int
     payload: bytes
+    kind: str = "full"
+    base_step: int = -1
+    base_sha256: str = ""
+
+    @property
+    def is_delta(self) -> bool:
+        return self.kind == "delta"
 
     # ------------------------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "magic": _CHECKPOINT_MAGIC,
-                "format_version": CHECKPOINT_FORMAT_VERSION,
-                "step": self.step,
-                "journal_records": self.journal_records,
-                "sequence": self.sequence,
-                "sha256": hashlib.sha256(self.payload).hexdigest(),
-                "payload": base64.b64encode(self.payload).decode("ascii"),
-            },
-            sort_keys=True,
-        )
+        envelope = {
+            "magic": _CHECKPOINT_MAGIC,
+            # Full snapshots stay on the version-1 envelope so readers
+            # predating delta support can still restore them.
+            "format_version": 2 if self.is_delta else 1,
+            "step": self.step,
+            "journal_records": self.journal_records,
+            "sequence": self.sequence,
+            "sha256": hashlib.sha256(self.payload).hexdigest(),
+            "payload": base64.b64encode(self.payload).decode("ascii"),
+        }
+        if self.is_delta:
+            envelope["kind"] = self.kind
+            envelope["base_step"] = self.base_step
+            envelope["base_sha256"] = self.base_sha256
+        return json.dumps(envelope, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str, *, source: str = "<checkpoint>") -> "SimulatorCheckpoint":
@@ -356,6 +393,13 @@ class SimulatorCheckpoint:
                 f"{source}: checkpoint format_version {version} is newer "
                 f"than supported {CHECKPOINT_FORMAT_VERSION}"
             )
+        kind = envelope.get("kind", "full")
+        if kind not in ("full", "delta"):
+            raise CheckpointError(f"{source}: unknown checkpoint kind {kind!r}")
+        if kind == "delta" and version < 2:
+            raise CheckpointError(
+                f"{source}: delta checkpoints require format_version >= 2"
+            )
         try:
             payload = base64.b64decode(envelope["payload"].encode("ascii"))
         except (KeyError, AttributeError, ValueError) as exc:
@@ -365,11 +409,25 @@ class SimulatorCheckpoint:
             raise CheckpointError(
                 f"{source}: checksum mismatch (corrupt checkpoint)"
             )
+        base_step = envelope.get("base_step", -1)
+        base_sha = envelope.get("base_sha256", "")
+        if kind == "delta" and (
+            not isinstance(base_step, int)
+            or base_step < 0
+            or not isinstance(base_sha, str)
+            or not base_sha
+        ):
+            raise CheckpointError(
+                f"{source}: delta checkpoint lacks a valid base reference"
+            )
         return cls(
             step=int(envelope["step"]),
             journal_records=int(envelope["journal_records"]),
             sequence=int(envelope["sequence"]),
             payload=payload,
+            kind=kind,
+            base_step=int(base_step),
+            base_sha256=str(base_sha),
         )
 
     def save(self, path: PathLike, *, opener: Opener = open) -> Path:
@@ -403,13 +461,273 @@ class SimulatorCheckpoint:
         return cls.from_json(text, source=str(path))
 
     def restore_state(self) -> Dict[str, Any]:
-        """Unpickle the snapshot payload."""
+        """Unpickle the snapshot payload (full checkpoints only)."""
+        if self.is_delta:
+            raise CheckpointError(
+                "delta checkpoint cannot restore standalone; "
+                "materialize it through CheckpointStore.resolve"
+            )
         try:
             return pickle.loads(self.payload)
         except Exception as exc:
             raise CheckpointError(
                 f"checkpoint payload does not unpickle: {exc}"
             ) from exc
+
+
+# ----------------------------------------------------------------------
+# Versioned containers (cheap change detection for the delta snapshotter)
+# ----------------------------------------------------------------------
+
+def _rebuild_versioned_dict(items, version):
+    rebuilt = VersionedDict(items)
+    rebuilt.version = version
+    return rebuilt
+
+
+def _rebuild_versioned_set(items, version):
+    rebuilt = VersionedSet(items)
+    rebuilt.version = version
+    return rebuilt
+
+
+class VersionedDict(dict):
+    """A dict that counts its mutations.
+
+    :class:`DeltaSnapshotter` reads the ``version`` token to skip
+    re-pickling unchanged sections without comparing bytes.  Sound only
+    for sections whose *values* are effectively immutable (profiles,
+    frozen dataclasses, scalars): an in-place mutation of a stored value
+    does not bump the version, which is why the simulator keeps its
+    mutable-record sections on byte comparison instead.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.version = 0
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.version += 1
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self.version += 1
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self.version += 1
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self.version += 1
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self.version += 1
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self.version += 1
+
+    def setdefault(self, key, default=None):
+        result = super().setdefault(key, default)
+        self.version += 1
+        return result
+
+    def __reduce__(self):
+        # Explicit reduce: the default dict-subclass protocol repopulates
+        # items through ``__setitem__``, which needs ``version`` to exist
+        # before ``__init__`` has run.
+        return (_rebuild_versioned_dict, (dict(self), self.version))
+
+
+class VersionedSet(set):
+    """A set that counts its mutations; see :class:`VersionedDict`.
+
+    Pickles through a *sorted* element list so equal sets always produce
+    equal bytes — set iteration order is not deterministic enough for
+    byte-compared or checksummed payloads.
+    """
+
+    __slots__ = ("version",)
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.version = 0
+
+    def add(self, element) -> None:
+        super().add(element)
+        self.version += 1
+
+    def discard(self, element) -> None:
+        super().discard(element)
+        self.version += 1
+
+    def remove(self, element) -> None:
+        super().remove(element)
+        self.version += 1
+
+    def pop(self):
+        result = super().pop()
+        self.version += 1
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self.version += 1
+
+    def update(self, *others) -> None:
+        super().update(*others)
+        self.version += 1
+
+    def __reduce__(self):
+        return (_rebuild_versioned_set, (sorted(self), self.version))
+
+
+# ----------------------------------------------------------------------
+# Incremental snapshot encoding
+# ----------------------------------------------------------------------
+
+class DeltaSnapshotter:
+    """Encode simulator snapshots as deltas against the previous one.
+
+    The caller hands over the *unpickled* section dict (the payload of
+    :meth:`~repro.system.simulator.OpenSystemSimulator._snapshot`); the
+    snapshotter decides full vs delta and returns a sealed
+    :class:`SimulatorCheckpoint`:
+
+    * the **first** snapshot, every ``full_interval``-th thereafter, and
+      any snapshot whose trace *shrank* (a new run reusing the
+      snapshotter would corrupt the chain) is a **full** — byte-identical
+      to the pre-delta format;
+    * everything else is a **delta** holding only the sections that
+      changed since the previous snapshot plus the trace's appended
+      suffix.  Change detection is the ``version`` token for
+      :class:`VersionedDict`/:class:`VersionedSet` sections and a pickled
+      byte comparison for everything else, so in-place mutations (record
+      fields, victim attempt counters) are still caught.
+
+    The cache lives in process memory only: a resumed run must start a
+    fresh snapshotter, whose first emission is therefore a full snapshot
+    that reseeds the chain.
+    """
+
+    #: Section name whose value is the append-only simulation trace.
+    TRACE_SECTION = "trace"
+
+    def __init__(self, *, full_interval: int = DEFAULT_FULL_INTERVAL) -> None:
+        if full_interval < 1:
+            raise ValueError("full_interval must be >= 1")
+        self._full_interval = full_interval
+        self._section_bytes: Dict[str, bytes] = {}
+        self._section_versions: Dict[str, int] = {}
+        self._trace_lens: Optional[Tuple[int, int, int, int]] = None
+        self._base_step = -1
+        self._base_sha = ""
+        self._deltas_since_full = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _trace_lists(trace) -> Tuple[list, list, list, list]:
+        return (trace.transitions, trace.notes, trace.losses, trace.violations)
+
+    def encode(
+        self,
+        sections: Dict[str, Any],
+        *,
+        step: int,
+        journal_records: int,
+        sequence: int,
+    ) -> SimulatorCheckpoint:
+        trace = sections[self.TRACE_SECTION]
+        lens = tuple(len(lst) for lst in self._trace_lists(trace))
+        force_full = (
+            self._base_step < 0
+            or self._deltas_since_full >= self._full_interval
+            or (
+                self._trace_lens is not None
+                and any(new < old for new, old in zip(lens, self._trace_lens))
+            )
+        )
+        if force_full:
+            return self._encode_full(
+                sections, lens,
+                step=step, journal_records=journal_records, sequence=sequence,
+            )
+
+        changed: Dict[str, bytes] = {}
+        for name, value in sections.items():
+            if name == self.TRACE_SECTION:
+                continue
+            if isinstance(value, (VersionedDict, VersionedSet)):
+                token = value.version
+                if self._section_versions.get(name) != token:
+                    changed[name] = pickle.dumps(
+                        value, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    self._section_versions[name] = token
+            else:
+                blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                if self._section_bytes.get(name) != blob:
+                    changed[name] = blob
+                    self._section_bytes[name] = blob
+
+        base_lens = self._trace_lens or (0, 0, 0, 0)
+        suffix = tuple(
+            lst[start:]
+            for lst, start in zip(self._trace_lists(trace), base_lens)
+        )
+        bundle = {
+            "sections": changed,
+            "trace": {"base": base_lens, "suffix": suffix},
+        }
+        payload = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+        checkpoint = SimulatorCheckpoint(
+            step=step,
+            journal_records=journal_records,
+            sequence=sequence,
+            payload=payload,
+            kind="delta",
+            base_step=self._base_step,
+            base_sha256=self._base_sha,
+        )
+        self._advance(step, payload, lens)
+        self._deltas_since_full += 1
+        return checkpoint
+
+    def _encode_full(
+        self, sections, lens, *, step, journal_records, sequence
+    ) -> SimulatorCheckpoint:
+        payload = pickle.dumps(sections, protocol=pickle.HIGHEST_PROTOCOL)
+        self._section_bytes.clear()
+        self._section_versions.clear()
+        for name, value in sections.items():
+            if name == self.TRACE_SECTION:
+                continue
+            if isinstance(value, (VersionedDict, VersionedSet)):
+                self._section_versions[name] = value.version
+            else:
+                self._section_bytes[name] = pickle.dumps(
+                    value, protocol=pickle.HIGHEST_PROTOCOL
+                )
+        self._advance(step, payload, lens)
+        self._deltas_since_full = 0
+        return SimulatorCheckpoint(
+            step=step,
+            journal_records=journal_records,
+            sequence=sequence,
+            payload=payload,
+        )
+
+    def _advance(self, step: int, payload: bytes, lens) -> None:
+        self._base_step = step
+        self._base_sha = hashlib.sha256(payload).hexdigest()
+        self._trace_lens = tuple(lens)
 
 
 class CheckpointStore:
@@ -432,16 +750,79 @@ class CheckpointStore:
             self.path_for(checkpoint.step), opener=self._opener
         )
 
+    def resolve(
+        self, path: PathLike
+    ) -> Tuple[SimulatorCheckpoint, Dict[str, Any]]:
+        """Materialize the full state at ``path``, walking the delta chain.
+
+        A full checkpoint unpickles directly.  A delta is applied on top
+        of its base — located by ``base_step`` in this store and verified
+        against ``base_sha256`` — recursively down to the anchoring full
+        snapshot.  Any missing, corrupt, or mismatched link raises
+        :class:`CheckpointError`; trace suffixes are only appended after
+        asserting the materialized lists have exactly the base lengths
+        the delta was encoded against.
+        """
+        tip = SimulatorCheckpoint.load(path)
+        chain = [tip]
+        cursor = tip
+        while cursor.is_delta:
+            if cursor.base_step >= cursor.step:
+                raise CheckpointError(
+                    f"{path}: delta chain does not descend "
+                    f"(step {cursor.step} -> base {cursor.base_step})"
+                )
+            base_path = self.path_for(cursor.base_step)
+            base = SimulatorCheckpoint.load(base_path)
+            if hashlib.sha256(base.payload).hexdigest() != cursor.base_sha256:
+                raise CheckpointError(
+                    f"{base_path}: payload does not match the base digest "
+                    f"recorded by the step-{cursor.step} delta (broken chain)"
+                )
+            chain.append(base)
+            cursor = base
+
+        state = cursor.restore_state()
+        for delta in reversed(chain[:-1]):
+            try:
+                bundle = pickle.loads(delta.payload)
+                changed = {
+                    name: pickle.loads(blob)
+                    for name, blob in bundle["sections"].items()
+                }
+                trace_part = bundle["trace"]
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                raise CheckpointError(
+                    f"step-{delta.step} delta payload does not decode: {exc}"
+                ) from exc
+            state.update(changed)
+            trace = state[DeltaSnapshotter.TRACE_SECTION]
+            lists = DeltaSnapshotter._trace_lists(trace)
+            actual = tuple(len(lst) for lst in lists)
+            if actual != tuple(trace_part["base"]):
+                raise CheckpointError(
+                    f"step-{delta.step} delta expects trace lengths "
+                    f"{tuple(trace_part['base'])} but the chain "
+                    f"materialized {actual}"
+                )
+            for lst, suffix in zip(lists, trace_part["suffix"]):
+                lst.extend(suffix)
+        return tip, state
+
     def latest(self) -> Optional[Path]:
-        """The newest checkpoint file that validates, or ``None``.
+        """The newest checkpoint file whose *whole chain* validates.
 
         Atomic writes mean a final-named file is normally intact, but a
-        checkpoint that fails validation is skipped rather than fatal —
-        an older snapshot plus journal replay reaches the same state.
+        checkpoint that fails validation — including a delta whose base
+        is missing, corrupt, or digest-mismatched — is skipped rather
+        than fatal: an older snapshot plus journal replay reaches the
+        same state.
         """
         for path in sorted(self._directory.glob("ckpt-*.json"), reverse=True):
             try:
-                SimulatorCheckpoint.load(path)
+                self.resolve(path)
             except CheckpointError:
                 continue
             return path

@@ -31,7 +31,7 @@ import heapq
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.baselines.base import AdmissionPolicy, PolicyDecision
 from repro.computation.requirements import ConcurrentRequirement
@@ -45,8 +45,11 @@ from repro.resources.resource_set import ResourceSet
 from repro.serialization import time_to_wire
 from repro.system.checkpoint import (
     CheckpointStore,
+    DeltaSnapshotter,
     Journal,
     SimulatorCheckpoint,
+    VersionedDict,
+    VersionedSet,
     check_journal_header,
     journal_header,
 )
@@ -212,6 +215,12 @@ def _metric_amount(quantity):
         return float(quantity)
 
 
+def _as_versioned_dict(value: Dict) -> "VersionedDict":
+    """Restored snapshot section as a :class:`VersionedDict` (pre-delta
+    checkpoints pickled plain dicts)."""
+    return value if isinstance(value, VersionedDict) else VersionedDict(value)
+
+
 @dataclass
 class _ActiveVictim:
     """A promise-violation victim between eviction and its final fate."""
@@ -253,16 +262,20 @@ class OpenSystemSimulator:
         self._invariant_interval = invariant_interval
         # Run-scoped fault/recovery bookkeeping (reset by run()).
         self._victims: Dict[str, _ActiveVictim] = {}
-        self._flagged: set = set()
+        # Versioned containers: their mutation counters let the delta
+        # snapshotter skip unchanged sections without byte comparisons.
+        # Only sections whose *values* are immutable qualify — records
+        # and victims are mutated in place, so they stay plain dicts.
+        self._flagged: VersionedSet = VersionedSet()
         self._horizon: Time = 0
         # Consumption per owning arrival, tallied as slices execute so
         # salvage accounting needs no rescan of the whole trace.
-        self._consumed_by_owner: Dict[str, float] = {}
+        self._consumed_by_owner: VersionedDict = VersionedDict()
         # Run-scoped report state (attributes, not run() locals, so a
         # checkpoint can snapshot them mid-run — see _snapshot()).
         self._records: Dict[str, ComputationRecord] = {}
-        self._offered: Dict[LocatedType, Time] = {}
-        self._consumed: Dict[LocatedType, Time] = {}
+        self._offered: VersionedDict = VersionedDict()
+        self._consumed: VersionedDict = VersionedDict()
         self._trace = SimulationTrace()
         self._run_window: Optional[Interval] = None
         # Durability plumbing (configured per run()).
@@ -274,6 +287,7 @@ class OpenSystemSimulator:
         self._checkpoint_store: Optional[CheckpointStore] = None
         self._checkpoint_every = 0
         self._last_checkpoint_step = -1
+        self._snapshotter: Optional[DeltaSnapshotter] = None
         self._mid_run = False
         if initial_resources is not None and not initial_resources.is_empty:
             self._admission.observe_resources(initial_resources, start_time)
@@ -316,12 +330,12 @@ class OpenSystemSimulator:
         self._horizon = horizon
         self._run_window = Interval(self._start_time, horizon)
         self._records = {}
-        self._offered = {}
-        self._consumed = {}
+        self._offered = VersionedDict()
+        self._consumed = VersionedDict()
         self._trace = SimulationTrace()
         self._victims = {}
-        self._flagged = set()
-        self._consumed_by_owner = {}
+        self._flagged = VersionedSet()
+        self._consumed_by_owner = VersionedDict()
         self._replay_records = []
         self._replay_pos = 0
         self._journal_count = 0
@@ -365,12 +379,24 @@ class OpenSystemSimulator:
         """
         registry = get_registry()
         restore_started = registry.now() if registry.enabled else 0.0
-        checkpoint = SimulatorCheckpoint.load(checkpoint_path)
-        payload = checkpoint.restore_state()
+        store_source = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else Path(checkpoint_path).parent
+        )
+        store = (
+            store_source
+            if isinstance(store_source, CheckpointStore)
+            else CheckpointStore(store_source)
+        )
+        # resolve() materializes delta checkpoints through their base
+        # chain; a full checkpoint unpickles directly.
+        checkpoint, payload = store.resolve(checkpoint_path)
         if registry.enabled:
             registry.histogram(
                 "checkpoint_restore_seconds",
-                "checkpoint load + unpickle time on resume",
+                "checkpoint load + unpickle time on resume "
+                "(delta chains included)",
             ).observe(registry.now() - restore_started)
         sim = cls.__new__(cls)
         sim._admission = payload["admission"]
@@ -381,14 +407,23 @@ class OpenSystemSimulator:
         sim._invariant_interval = payload["invariant_interval"]
         sim._state = payload["state"]
         sim._records = payload["records"]
-        sim._offered = payload["offered"]
-        sim._consumed = payload["consumed"]
+        # Re-wrap as versioned containers: snapshots written by this
+        # version round-trip them already, but checkpoints from older
+        # runs hold plain dicts/sets.
+        sim._offered = _as_versioned_dict(payload["offered"])
+        sim._consumed = _as_versioned_dict(payload["consumed"])
         sim._trace = payload["trace"]
         sim._events = payload["events"]
         heapq.heapify(sim._events)
         sim._victims = payload["victims"]
-        sim._flagged = payload["flagged"]
-        sim._consumed_by_owner = payload["consumed_by_owner"]
+        sim._flagged = (
+            payload["flagged"]
+            if isinstance(payload["flagged"], VersionedSet)
+            else VersionedSet(payload["flagged"])
+        )
+        sim._consumed_by_owner = _as_versioned_dict(
+            payload["consumed_by_owner"]
+        )
         sim._horizon = payload["horizon"]
         sim._run_window = Interval(sim._start_time, sim._horizon)
         sim._checkpoint_every = payload.get("checkpoint_every", 0)
@@ -396,16 +431,11 @@ class OpenSystemSimulator:
         # restored heap exactly as the uninterrupted run's would have.
         restore_sequence(checkpoint.sequence)
         sim._last_checkpoint_step = checkpoint.step
-        store = (
-            checkpoint_dir
-            if checkpoint_dir is not None
-            else Path(checkpoint_path).parent
-        )
-        sim._checkpoint_store = (
-            store
-            if isinstance(store, CheckpointStore)
-            else CheckpointStore(store)
-        )
+        sim._checkpoint_store = store
+        # The delta cache died with the crashed process: a fresh
+        # snapshotter's first emission is a full snapshot that reseeds
+        # the chain (created lazily by _maybe_checkpoint).
+        sim._snapshotter = None
         sim._journal = None
         sim._owns_journal = False
         sim._replay_records = []
@@ -418,14 +448,25 @@ class OpenSystemSimulator:
             if records:
                 check_journal_header(records[0], journal.path)
             if len(records) < checkpoint.journal_records:
-                raise CheckpointError(
-                    f"{journal.path}: journal holds {len(records)} records "
-                    f"but the checkpoint was taken after "
-                    f"{checkpoint.journal_records} — mismatched pair"
+                # The sealed checkpoint is *newer* than the journal's
+                # acknowledged tail (the journal was lost or rolled back
+                # independently of the checkpoint directory).  The
+                # checkpoint is self-contained, checksummed state — it
+                # wins.  Start a fresh journal epoch from the restored
+                # instant: deterministic re-execution regenerates the
+                # suffix, so nothing is double-replayed and nothing from
+                # the stale tail can pin a divergent record.
+                journal.close()
+                journal = Journal(
+                    journal_path, fsync=journal_fsync, truncate=True
                 )
-            sim._journal = journal
-            sim._owns_journal = True
-            sim._replay_records = records[checkpoint.journal_records:]
+                sim._journal_count = 0
+                sim._journal = journal
+                sim._owns_journal = True
+            else:
+                sim._journal = journal
+                sim._owns_journal = True
+                sim._replay_records = records[checkpoint.journal_records:]
         if verify_conservation:
             gaps = sim._trace.conservation_gaps(
                 sim._offered,
@@ -687,12 +728,14 @@ class OpenSystemSimulator:
             )
         self._checkpoint_every = int(checkpoint_every)
         self._checkpoint_store = None
+        self._snapshotter = None
         if checkpoint_dir is not None:
             self._checkpoint_store = (
                 checkpoint_dir
                 if isinstance(checkpoint_dir, CheckpointStore)
                 else CheckpointStore(checkpoint_dir)
             )
+            self._snapshotter = DeltaSnapshotter()
         elif checkpoint_every:
             raise SimulationError("checkpoint_every requires checkpoint_dir")
         self._journal = None
@@ -781,12 +824,14 @@ class OpenSystemSimulator:
                 return
         if steps == self._last_checkpoint_step:
             return
+        if self._snapshotter is None:
+            self._snapshotter = DeltaSnapshotter()
         self._checkpoint_store.save(
-            SimulatorCheckpoint(
+            self._snapshotter.encode(
+                self._snapshot_sections(),
                 step=steps,
                 journal_records=self._journal_count,
                 sequence=sequence_value(),
-                payload=self._snapshot(),
             )
         )
         self._last_checkpoint_step = steps
@@ -794,7 +839,14 @@ class OpenSystemSimulator:
     def _snapshot(self) -> bytes:
         """The full simulator state, pickled: everything :meth:`resume`
         needs to continue as if the process had never died."""
-        payload = {
+        return pickle.dumps(
+            self._snapshot_sections(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    def _snapshot_sections(self) -> Dict[str, Any]:
+        """The snapshot as named sections, pre-pickle — the unit the
+        delta snapshotter diffs checkpoint-to-checkpoint."""
+        return {
             "state": self._state,
             "records": self._records,
             "offered": self._offered,
@@ -813,7 +865,6 @@ class OpenSystemSimulator:
             "allocation": self._allocation,
             "recovery": self._recovery,
         }
-        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
 
     # ------------------------------------------------------------------
     def _apply_event(

@@ -281,13 +281,14 @@ class TestResume:
             journal=tmp_path / "journal.jsonl",
         )
 
+        store = CheckpointStore(tmp_path)
         mid_backoff = [
             path
             for path in sorted(tmp_path.glob("ckpt-*.json"))
             if any(
                 isinstance(event, RecoveryOfferEvent)
-                for _, _, event in SimulatorCheckpoint.load(path)
-                .restore_state()["events"]
+                # resolve() materializes deltas through their base chain
+                for _, _, event in store.resolve(path)[1]["events"]
             )
         ]
         assert mid_backoff, "no checkpoint caught a pending backoff offer"
@@ -333,10 +334,17 @@ class TestResume:
         with pytest.raises(CheckpointError, match="diverged"):
             resumed.resume_run()
 
-    def test_journal_shorter_than_checkpoint_rejected(self, tmp_path):
-        """A checkpoint that acknowledges more records than the journal
-        holds cannot belong to that journal."""
+    def test_journal_shorter_than_checkpoint_prefers_checkpoint(self, tmp_path):
+        """A valid checkpoint newer than the journal's acknowledged tail
+        (the journal was lost or rolled back independently) resumes from
+        the checkpoint on a *fresh* journal epoch: the stale tail is
+        discarded, nothing is double-replayed, and the finished run is
+        field-for-field identical to the uninterrupted one."""
         scenario = chaos_scenario()
+        plain = make_simulator(scenario)
+        plain.schedule(*scenario.events)
+        truth = report_fingerprint(plain.run(scenario.horizon))
+
         simulator = make_simulator(scenario)
         simulator.schedule(*scenario.events)
         simulator.run(
@@ -347,8 +355,21 @@ class TestResume:
         )
         last = sorted(tmp_path.glob("ckpt-*.json"))[-1]
         records, _ = Journal.scan(tmp_path / "journal.jsonl")
-        kept = records[: SimulatorCheckpoint.load(last).journal_records // 2]
+        acknowledged = SimulatorCheckpoint.load(last).journal_records
+        kept = records[: acknowledged // 2]
         (tmp_path / "journal.jsonl").unlink()
         write_journal(tmp_path / "journal.jsonl", kept)
-        with pytest.raises(CheckpointError, match="journal"):
-            OpenSystemSimulator.resume(last, tmp_path / "journal.jsonl")
+
+        resumed = OpenSystemSimulator.resume(
+            last, tmp_path / "journal.jsonl", checkpoint_dir=tmp_path
+        )
+        # Fresh epoch: no stale records survive, none are pinned for replay.
+        assert resumed._journal_count == 0
+        assert resumed._replay_records == []
+        fingerprint = report_fingerprint(resumed.resume_run())
+        assert fingerprint == truth, diff_fingerprints(truth, fingerprint)
+        # The rewritten journal is the regenerated suffix: header first,
+        # nothing from the stale tail.
+        fresh, _ = Journal.scan(tmp_path / "journal.jsonl")
+        assert fresh and fresh[0]["type"] == "journal_header"
+        assert len(fresh) == resumed._journal_count

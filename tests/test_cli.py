@@ -230,6 +230,56 @@ class TestReplay:
         )
         assert main(["replay", str(trace), "--horizon", "10"]) == 0
 
+    @staticmethod
+    def _simple_trace(tmp_path):
+        from repro.system import resource_join
+        from repro.workloads import save_events
+        from repro.resources import ResourceSet, cpu, term
+
+        trace = tmp_path / "trace.jsonl"
+        save_events(
+            [resource_join(0, ResourceSet.of(term(2, cpu("l1"), 0, 10)))], trace
+        )
+        return trace
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--max-queue", "8"),
+        ("--shed-policy", "tail-drop"),
+        ("--brownout-threshold", "6"),
+    ])
+    def test_replay_tuning_flags_without_front_door_rejected(
+        self, tmp_path, flag, value, capsys
+    ):
+        """The scenario exit-2 contract holds on replay too: a clear
+        message naming the offending flag and the fix, never a bare
+        argparse usage dump."""
+        trace = self._simple_trace(tmp_path)
+        assert main([
+            "replay", str(trace), "--horizon", "10", flag, value,
+        ]) == 2
+        err = capsys.readouterr().err
+        assert flag in err and "--front-door" in err
+        assert err.startswith("error:")
+
+    def test_replay_behind_front_door(self, tmp_path, capsys):
+        trace = self._simple_trace(tmp_path)
+        assert main([
+            "replay", str(trace), "--horizon", "10",
+            "--front-door", "--max-queue", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "front door (shed/breaker/brownout):" in out
+
+    def test_replay_unworkable_brownout_threshold_rejected(
+        self, tmp_path, capsys
+    ):
+        trace = self._simple_trace(tmp_path)
+        assert main([
+            "replay", str(trace), "--horizon", "10",
+            "--front-door", "--brownout-threshold", "1",
+        ]) == 2
+        assert "hysteresis" in capsys.readouterr().err
+
 
 class TestMetricsFlags:
     def test_metrics_format_without_out_rejected(self, capsys):

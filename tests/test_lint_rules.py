@@ -60,7 +60,10 @@ FIXTURES = {
         [
             "import random\nrng = random.Random(42)\n",
             "import random\n\ndef make(seed):\n    return random.Random(seed)\n",
-            "import numpy.random as npr\nrng = npr.default_rng(7)\n",
+            # a seeded numpy rng is fine for *this* rule, but the
+            # layering rule pins numpy imports to the vector kernels,
+            # so the clean-everywhere fixture sticks to stdlib random
+            "import random\nrng = random.Random(7)\n",
         ],
     ),
     "set-iteration": (
@@ -232,6 +235,57 @@ def test_injected_wall_clock_in_simulator_is_caught():
     assert clocks[0].path == str(real)
     assert clocks[0].line == expected_line
     assert "time.time" in clocks[0].message
+
+
+class TestThirdPartyPin:
+    """The layering rule pins ``numpy`` to the inexact vector kernels:
+    the exact Fraction path and the ``_reference_*`` oracles must never
+    silently acquire a numpy dependency."""
+
+    KERNEL_PATH = "src/repro/resources/_vectorized.py"
+
+    def test_numpy_import_outside_kernels_is_flagged(self):
+        for snippet in (
+            "import numpy\n",
+            "import numpy as np\n",
+            "from numpy import searchsorted\n",
+            "import numpy.linalg\n",
+        ):
+            findings = run(snippet, EXACT_PATH)
+            assert any(
+                f.rule == "layering" and "pinned" in f.message
+                for f in findings
+            ), snippet
+
+    def test_numpy_import_inside_kernels_is_clean(self):
+        findings = run("import numpy as _np\n", self.KERNEL_PATH)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_pin_applies_beyond_the_resources_package(self):
+        findings = run("import numpy\n", DET_PATH)
+        assert any(f.rule == "layering" for f in findings)
+
+    def test_unpinned_third_party_is_untouched(self):
+        from repro.analysis.lint.layering import third_party_pin_violation
+
+        assert third_party_pin_violation("repro.system.sim", "itertools") is None
+        message = third_party_pin_violation("repro.system.sim", "numpy")
+        assert message is not None and "_vectorized" in message
+        assert third_party_pin_violation(
+            "repro.resources._vectorized", "numpy"
+        ) is None
+        # Prefixes match at module boundaries, not as raw strings.
+        assert third_party_pin_violation(
+            "repro.resources._vectorized_extras", "numpy"
+        ) is not None
+
+    def test_float_rules_exempt_the_kernels(self):
+        """The exact-arithmetic rules scope to ``repro.resources`` but
+        carve out the float64 kernel module — floats are its job."""
+        snippet = "threshold = 0.5\n\ndef f(x):\n    return x == 0.5\n"
+        flagged = {f.rule for f in run(snippet, EXACT_PATH)}
+        assert {"float-literal", "float-compare"} <= flagged
+        assert run(snippet, self.KERNEL_PATH) == []
 
 
 class TestLayeringMap:

@@ -1,0 +1,316 @@
+"""Differential fuzzing of the profile fast paths against the oracles.
+
+The vectorized (numpy float64) inexact path and the scalar fast path
+must both be *indistinguishable* from the retained ``_reference_*``
+implementations — same breakpoints, same values, same exceptions — over
+seeded random profiles that deliberately mix numeric types (int, float,
+Fraction) and force the historical trouble spots: coincident
+breakpoints, zero-width segments, window edges landing exactly on
+breakpoints under a different numeric type.
+
+Two real divergences this fuzzer surfaced are pinned as minimized
+regression tests below:
+
+* ``integral`` tie-breaking: the scalar fast path picked the *window*
+  coordinate when a segment boundary coincided with a window edge under
+  a different type (``1`` vs ``1.0``), while the reference's
+  ``Interval.intersection`` (``max``/``min``) picks the *segment*
+  coordinate — one ulp of drift under mixed Fraction/float arithmetic.
+* ``_reference_min_rate`` coverage dust: summing mixed float/Fraction
+  segment durations accrued rounding error and declared a fully-covered
+  window uncovered, returning a spurious 0.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.computation import ComplexRequirement, Demands
+from repro.decision import AdmissionController
+from repro.errors import InvalidTermError, UndefinedOperationError
+from repro.intervals import Interval
+from repro.resources import RateProfile, ResourceSet, cpu, term
+from repro.resources import _vectorized as _vec
+from repro.resources import profile as P
+
+TRIALS = 2500  # per generator family; seeds make failures reproducible
+
+
+# ----------------------------------------------------------------------
+# Seeded generators
+# ----------------------------------------------------------------------
+
+def _mixed_coord(rng):
+    """A coordinate drawn across numeric types, biased toward values
+    that collide across representations (``1`` == ``1.0`` == ``F(1)``)."""
+    c = rng.randint(0, 5)
+    if c == 0:
+        return rng.randint(0, 8)
+    if c == 1:
+        return Fraction(rng.randint(0, 24), rng.randint(1, 6))
+    if c == 2:
+        return round(rng.random() * 8, 2)
+    if c == 3:
+        return rng.random() * 8
+    if c == 4:
+        return float(rng.randint(0, 8))
+    return rng.choice([0, 0.0, 1, 1.0, Fraction(1), Fraction(1, 3), 1 / 3])
+
+
+def _float_coord(rng):
+    """A float64-safe coordinate (keeps the vector kernels engaged)."""
+    c = rng.randint(0, 2)
+    if c == 0:
+        return float(rng.randint(0, 8))
+    if c == 1:
+        return round(rng.random() * 8, 2)
+    return rng.random() * 8
+
+
+def _profile(rng, coord):
+    n = rng.randint(0, 6)
+    pts = [(coord(rng), abs(coord(rng))) for _ in range(n)]
+    if pts and rng.random() < 0.4:
+        # Force a coincident breakpoint: same time, different rate —
+        # normalisation must resolve it last-wins on both paths.
+        t = pts[rng.randrange(len(pts))][0]
+        pts.append((t, abs(coord(rng))))
+    return RateProfile(pts)
+
+
+def _window(rng, coord):
+    lo, hi = coord(rng), coord(rng)
+    if hi < lo:
+        lo, hi = hi, lo
+    return Interval(lo, hi)
+
+
+GENERATORS = {
+    "mixed-types": _mixed_coord,
+    "float64": _float_coord,
+}
+
+
+# ----------------------------------------------------------------------
+# Oracles not retained in profile.py (derived from _reference_rate_at)
+# ----------------------------------------------------------------------
+
+def _merged_times(a, b):
+    return sorted(
+        {t for t, _ in a.breakpoints} | {t for t, _ in b.breakpoints}
+    )
+
+
+def _oracle_cap(a, b):
+    return RateProfile(
+        (t, min(P._reference_rate_at(a, t), P._reference_rate_at(b, t)))
+        for t in _merged_times(a, b)
+    )
+
+
+def _oracle_saturating_sub(a, b):
+    return RateProfile(
+        (t, max(0, P._reference_rate_at(a, t) - P._reference_rate_at(b, t)))
+        for t in _merged_times(a, b)
+    )
+
+
+def _oracle_dominates(a, b):
+    return all(
+        P._reference_rate_at(a, t) >= P._reference_rate_at(b, t)
+        for t in _merged_times(a, b)
+    )
+
+
+def _subtract_outcome(fn):
+    try:
+        return ("ok", tuple(fn()._points))
+    except (UndefinedOperationError, InvalidTermError) as exc:
+        return ("raise", type(exc).__name__)
+
+
+# ----------------------------------------------------------------------
+# The differential sweep
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+def test_binary_ops_match_reference(family):
+    coord = GENERATORS[family]
+    rng = random.Random(20260808)
+    for _ in range(TRIALS):
+        a, b = _profile(rng, coord), _profile(rng, coord)
+        assert (a + b) == P._reference_add(a, b), (a, b)
+        assert a.cap(b) == _oracle_cap(a, b), (a, b)
+        assert a.saturating_sub(b) == _oracle_saturating_sub(a, b), (a, b)
+        assert a.dominates(b) == _oracle_dominates(a, b), (a, b)
+        fast = _subtract_outcome(lambda: a.subtract(b))
+        ref = _subtract_outcome(lambda: P._reference_subtract(a, b))
+        # Exception *parity* is part of the contract: the vector path
+        # must raise exactly when the scalar reference raises.
+        assert fast[0] == ref[0], (a, b, fast, ref)
+        if fast[0] == "ok":
+            assert fast[1] == ref[1], (a, b)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+def test_queries_match_reference(family):
+    coord = GENERATORS[family]
+    rng = random.Random(991)
+    for _ in range(TRIALS):
+        a = _profile(rng, coord)
+        w = _window(rng, coord)
+        if not w.is_empty:
+            assert a.integral(w) == P._reference_integral(a, w), (a, w)
+            assert a.min_rate(w) == P._reference_min_rate(a, w), (a, w)
+        ts = [coord(rng) for _ in range(4)]
+        assert a.rates_at(ts) == [P._reference_rate_at(a, t) for t in ts]
+        quantity, start = abs(coord(rng)), coord(rng)
+        assert a.earliest_accumulation(start, quantity) == (
+            P._reference_earliest_accumulation(a, start, quantity)
+        ), (a, start, quantity)
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+def test_aggregation_matches_reference(family):
+    coord = GENERATORS[family]
+    rng = random.Random(4242)
+    for _ in range(TRIALS // 5):
+        profiles = [_profile(rng, coord) for _ in range(rng.randint(2, 5))]
+        expected = RateProfile.zero()
+        for p in profiles:
+            expected = P._reference_add(expected, p)
+        assert RateProfile.sum(profiles) == expected, profiles
+        segments = []
+        for _ in range(rng.randint(1, 5)):
+            w = _window(rng, coord)
+            if not w.is_empty:
+                segments.append((w, abs(coord(rng))))
+        assert RateProfile.from_segments(segments) == (
+            P._reference_from_segments(segments)
+        ), segments
+
+
+def test_vector_path_actually_engages():
+    """All-float operands must take the vector path (result is lazily
+    materialized, ``_pts is None``) — guards against a silent fallback
+    that would make the differential suite vacuous."""
+    if not _vec.HAVE_NUMPY:
+        pytest.skip("numpy unavailable; scalar fallback is the only path")
+    a = RateProfile([(0.0, 1.5), (2.0, 3.5)])
+    b = RateProfile([(1.0, 0.5)])
+    assert (a + b)._pts is None
+    assert a.cap(b)._pts is None
+    assert a.subtract(b)._pts is None
+    # Exact operands must never touch the kernels.
+    c = RateProfile([(0, 1), (2, Fraction(7, 2))])
+    d = RateProfile([(1, 1)])
+    assert (c + d)._pts is not None
+    assert all(P.is_exact(v) for pt in (c + d)._points for v in pt)
+
+
+def test_vector_built_profiles_pickle_and_compare():
+    a = RateProfile([(0.0, 1.5), (2.0, 3.5)])
+    b = RateProfile([(1.0, 0.5)])
+    s = a + b
+    clone = pickle.loads(pickle.dumps(s))
+    assert clone == s
+    assert clone._points == s._points
+    assert hash(clone) == hash(s)
+
+
+# ----------------------------------------------------------------------
+# Minimized regressions for divergences the fuzzer surfaced
+# ----------------------------------------------------------------------
+
+def test_integral_tie_break_at_mixed_type_window_edge():
+    """Window edge ``1.0`` coinciding with breakpoint ``1`` (int): the
+    fast path must pick the segment coordinate on the tie, like the
+    reference's ``max``, or mixed Fraction/float rounding drifts a ulp."""
+    a = RateProfile([(1, 1.9522662677165377), (3.3181644759687963, 7)])
+    w = Interval(1.0, Fraction(4, 3))
+    assert a.integral(w) == P._reference_integral(a, w)
+
+
+def test_reference_min_rate_coverage_has_no_float_dust():
+    """Fully-covered window whose mixed-type segment durations do not sum
+    back to the window duration in float64: coverage must be tracked by
+    frontier comparison, not accumulation, so the answer is the true
+    minimum rather than the no-coverage fallback 0."""
+    a = RateProfile([(0, 6.86), (2, 5.449389469605602), (2.65, 1.35)])
+    w = Interval(Fraction(2), Fraction(8, 3))
+    assert P._reference_min_rate(a, w) == 1.35
+    assert a.min_rate(w) == 1.35
+
+
+def test_reference_min_rate_still_reports_real_gaps():
+    """The frontier rewrite must not paper over genuine gaps: an interior
+    zero-rate segment and a pre-support window still report 0."""
+    holey = RateProfile([(0, 1), (1, 0), (2, 3)])
+    assert P._reference_min_rate(holey, Interval(0, 3)) == 0
+    assert holey.min_rate(Interval(0, 3)) == 0
+    late = RateProfile([(5, 2)])
+    assert P._reference_min_rate(late, Interval(0, 6)) == 0
+    assert late.min_rate(Interval(0, 6)) == 0
+
+
+def test_subtract_negative_parity_at_coincident_breakpoints():
+    """A last-wins coincident breakpoint that flips the sign of the
+    difference: both paths must agree the result is negative (raise)."""
+    a = RateProfile([(0.0, 2.0), (1.0, 1.0)])
+    b = RateProfile([(1.0, 3.0), (1.0, 1.5)])  # last-wins: rate 1.5 at 1.0
+    with pytest.raises(UndefinedOperationError):
+        a.subtract(b)
+    with pytest.raises(UndefinedOperationError):
+        P._reference_subtract(a, b)
+
+
+def test_subtract_epsilon_dust_is_snapped_only_when_inexact():
+    base = RateProfile([(0.0, 1.0)])
+    dusty = RateProfile([(0.0, 1.0 + 1e-12)])
+    assert base.subtract(dusty) == P._reference_subtract(base, dusty)
+    exact_over = RateProfile([(0, Fraction(1) + Fraction(1, 10 ** 12))])
+    with pytest.raises(UndefinedOperationError):
+        RateProfile([(0, 1)]).subtract(exact_over)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: admission decisions are path-independent
+# ----------------------------------------------------------------------
+
+def _float_arrivals(count, horizon, seed=11):
+    rng = random.Random(seed)
+    out = []
+    for index in range(count):
+        start = float(rng.randrange(0, horizon - 12))
+        out.append(
+            ComplexRequirement(
+                [Demands({cpu("l1"): float(rng.randrange(1, 4))})],
+                Interval(start, start + float(rng.randrange(6, 14))),
+                label=f"job{index}",
+            )
+        )
+    return out
+
+
+def _decide(arrivals, horizon):
+    available = ResourceSet.of(term(1.0, cpu("l1"), 0.0, float(horizon)))
+    controller = AdmissionController(available)
+    return [controller.admit(req).admitted for req in arrivals]
+
+
+def test_admission_decisions_identical_with_and_without_numpy(monkeypatch):
+    """The whole point of the bit-identity contract: a float workload
+    decided on the vector kernels and re-decided with numpy disabled
+    (pure scalar path) must produce the same accept/reject sequence."""
+    if not _vec.HAVE_NUMPY:
+        pytest.skip("numpy unavailable; both runs would be scalar")
+    arrivals = _float_arrivals(80, 200)
+    vectored = _decide(arrivals, 200)
+    monkeypatch.setattr(_vec, "HAVE_NUMPY", False)
+    scalar = _decide(arrivals, 200)
+    assert vectored == scalar
+    assert any(vectored) and not all(vectored)  # workload actually bites

@@ -75,13 +75,13 @@ class TestPointAndWindowQueries:
                 )
 
     def test_min_rate_sees_gaps_in_infinite_windows(self):
-        # The naive oracle's coverage accounting saturates on infinite
-        # windows (covered == inf == duration) and misses interior gaps;
-        # the bisect version reports the true minimum.  Documented
-        # divergence — the fast path is the fix, not the regression.
+        # The oracle's old duration-sum coverage accounting saturated on
+        # infinite windows (covered == inf == duration) and missed
+        # interior gaps; its frontier rewrite tracks coverage by
+        # comparison, so both paths now report the true minimum.
         profile = RateProfile([(4, 1)])
         assert profile.min_rate(Interval(2, math.inf)) == 0
-        assert _reference_min_rate(profile, Interval(2, math.inf)) == 1
+        assert _reference_min_rate(profile, Interval(2, math.inf)) == 0
         # No gap: both agree.
         assert profile.min_rate(Interval(4, math.inf)) == 1
         assert _reference_min_rate(profile, Interval(4, math.inf)) == 1
