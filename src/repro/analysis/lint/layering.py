@@ -60,6 +60,17 @@ PACKAGE_OVERRIDES: Dict[str, FrozenSet[str]] = {
     "observability": frozenset({"errors"}),
 }
 
+#: Module-granular exceptions to the package map: importing package ->
+#: dotted repro modules it may reach *despite* their package's layer.
+#: ``repro.system.channel`` is a deterministic messaging primitive — it
+#: depends only on backoff/errors/intervals/observability — housed in
+#: ``repro.system`` for cohesion with the partition events that sever
+#: its links.  The service front door's verdict link rides it; the
+#: exception is module-tight so the door can never reach the simulator.
+IMPORT_EXCEPTIONS: Dict[str, Tuple[str, ...]] = {
+    "service": ("repro.system.channel",),
+}
+
 #: Third-party imports pinned to specific modules.  ``numpy`` backs the
 #: *inexact* (float64) profile path only: the exact Fraction path and
 #: the ``_reference_*`` oracles must never acquire a numpy dependency,
@@ -103,8 +114,18 @@ def allowed_imports(package: str) -> Optional[FrozenSet[str]]:
     return frozenset(allowed)
 
 
-def import_violation(package: str, target: str) -> Optional[str]:
-    """Human message if ``package`` importing ``target`` breaks layering."""
+def import_violation(
+    package: str, target: str, dotted: Optional[str] = None
+) -> Optional[str]:
+    """Human message if ``package`` importing ``target`` breaks layering.
+
+    ``dotted`` is the full imported module path when known, consulted
+    against :data:`IMPORT_EXCEPTIONS` (module-granular carve-outs).
+    """
+    if dotted is not None:
+        for prefix in IMPORT_EXCEPTIONS.get(package, ()):
+            if dotted == prefix or dotted.startswith(prefix + "."):
+                return None
     allowed = allowed_imports(package)
     if allowed is None:
         return (
@@ -157,8 +178,8 @@ def third_party_pin_violation(
 
 def imported_repro_packages(
     tree: ast.AST, module: Optional[str]
-) -> Iterator[Tuple[ast.stmt, str]]:
-    """Yield ``(import statement, top-level repro package)`` pairs.
+) -> Iterator[Tuple[ast.stmt, str, str]]:
+    """Yield ``(import statement, top-level repro package, dotted path)``.
 
     Handles ``import repro.x``, ``from repro.x import y`` and relative
     ``from . import y`` forms (resolved against ``module``).
@@ -168,14 +189,14 @@ def imported_repro_packages(
             for alias in node.names:
                 package = _repro_package(alias.name)
                 if package is not None:
-                    yield node, package
+                    yield node, package, alias.name
         elif isinstance(node, ast.ImportFrom):
             dotted = _absolute_from(node, module)
             if dotted is None:
                 continue
             package = _repro_package(dotted)
             if package is not None:
-                yield node, package
+                yield node, package, dotted
 
 
 def _repro_package(dotted: str) -> Optional[str]:
@@ -218,8 +239,10 @@ class LayeringRule(Rule):
         package = source.package
         if package is None:
             return
-        for node, target in imported_repro_packages(source.tree, source.module):
-            message = import_violation(package, target)
+        for node, target, dotted in imported_repro_packages(
+            source.tree, source.module
+        ):
+            message = import_violation(package, target, dotted)
             if message is not None:
                 yield self.finding(source, node, message)
         for node, target in _imported_third_party(source.tree):

@@ -38,6 +38,9 @@ DETERMINISTIC_MODULES: Tuple[str, ...] = (
     # byte-identically under a fixed seed (PR 6).
     "repro.service",
     "repro.backoff",
+    # Lease grant/renewal/expiry instants feed the conservation identity
+    # and the partition-matrix replay oracle (PR 8).
+    "repro.encapsulation",
 )
 
 #: Modules whose arithmetic must stay exact (int/Fraction only).

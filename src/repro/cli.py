@@ -73,6 +73,34 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for durations that must be ``>= 1``."""
+    value = _nonnegative_int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
+def _partition_window(text: str) -> tuple[int, int]:
+    """Argparse type for ``--partition-plan START:DURATION``."""
+    head, sep, tail = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected START:DURATION (e.g. 18:10), got {text!r}"
+        )
+    try:
+        start, duration = int(head), int(tail)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"START and DURATION must be integers, got {text!r}"
+        )
+    if start < 0 or duration < 0:
+        raise argparse.ArgumentTypeError(
+            f"START and DURATION must be >= 0, got {text!r}"
+        )
+    return start, duration
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,7 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     scenario = sub.add_parser("scenario", help="run a named scenario")
-    scenario.add_argument("name", choices=sorted(SCENARIOS))
+    scenario.add_argument("name", choices=sorted([*SCENARIOS, "mesh"]))
     scenario.add_argument("--seed", type=int, default=None)
     scenario.add_argument(
         "--policy",
@@ -134,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "(requires a single explicit --policy)",
     )
     _add_front_door_flags(scenario)
+    _add_network_flags(scenario)
     _add_metrics_flags(scenario)
 
     check = sub.add_parser("check", help="one-shot admission check from JSON")
@@ -172,8 +201,47 @@ def _build_parser() -> argparse.ArgumentParser:
         default="rota",
     )
     _add_front_door_flags(replay)
+    _add_network_flags(replay)
     _add_metrics_flags(replay)
     return parser
+
+
+def _add_network_flags(parser: argparse.ArgumentParser) -> None:
+    net = parser.add_argument_group(
+        "unreliable network",
+        "partition/loss fault model over the enclave mesh "
+        "(repro.faults.netfaults): message passing on the virtual clock, "
+        "lease-backed capacity grants, degraded autonomy under partition",
+    )
+    net.add_argument(
+        "--partition-plan", type=_partition_window, default=None,
+        metavar="START:DURATION",
+        help="sever the door<->n1 link for DURATION ticks starting at "
+        "START (scenario: requires the 'mesh' scenario; replay: runs the "
+        "trace through the mesh policy's channel)",
+    )
+    net.add_argument(
+        "--link-delay", type=_nonnegative_int, default=None, metavar="TICKS",
+        help="base one-way delay of every mesh link (default: 0; "
+        "requires the mesh)",
+    )
+    net.add_argument(
+        "--link-loss", type=_unit_rate, default=None, metavar="P",
+        help="per-message loss probability on every mesh link "
+        "(default: 0; requires the mesh)",
+    )
+    net.add_argument(
+        "--lease-ttl", type=_positive_int, default=None, metavar="TICKS",
+        help="time-to-live of leased capacity grants; unrenewable leases "
+        "expire conservatively under partition (default: 6; requires "
+        "the mesh)",
+    )
+    net.add_argument(
+        "--network-seed", type=_nonnegative_int, default=None, metavar="N",
+        help="seed of the channel's message-fate draws; pass the original "
+        "run's seed to replay its exact loss/jitter pattern "
+        "(default: --seed where available, else 0)",
+    )
 
 
 def _add_front_door_flags(parser: argparse.ArgumentParser) -> None:
@@ -263,6 +331,128 @@ def _check_front_door_flags(args: argparse.Namespace) -> str | None:
             "from the checkpoint; front-door flags shape fresh runs only"
         )
     return None
+
+
+def _check_network_flags(args: argparse.Namespace) -> str | None:
+    """Unreliable-network flag interactions, shared by scenario and replay.
+
+    The mesh is its own closed world — one admission path (ROTA-exact
+    enclaves over the channel), its own fault model (the network), its
+    own recovery pipeline — so flags that would compose a second fault
+    model or a second admission layer on top of it are refused."""
+    tuned = [
+        flag
+        for flag, value in (
+            ("--link-delay", args.link_delay),
+            ("--link-loss", args.link_loss),
+            ("--lease-ttl", args.lease_ttl),
+            ("--network-seed", args.network_seed),
+        )
+        if value is not None
+    ]
+    networked = bool(tuned) or args.partition_plan is not None
+    is_mesh = getattr(args, "name", None) == "mesh"
+    if is_mesh:
+        if args.front_door:
+            return (
+                "--front-door layers a second admission path over the "
+                "mesh's own enclave admission; drop one of the two"
+            )
+        if args.policy not in ("all", "rota"):
+            return (
+                "the mesh scenario runs the ROTA-exact enclave path; "
+                f"--policy {args.policy} cannot drive it"
+            )
+        for flag, rate in (
+            ("--crash-rate", args.crash_rate),
+            ("--revocation-rate", args.revocation_rate),
+            ("--straggler-rate", args.straggler_rate),
+        ):
+            if rate:
+                return (
+                    f"{flag} injects the unannounced fault model; the mesh "
+                    "scenario's fault model is the network itself "
+                    "(--partition-plan/--link-loss) — drop one of the two"
+                )
+        if args.checkpoint_dir is not None or args.resume:
+            return (
+                "checkpointing the mesh scenario is not supported: the "
+                "channel's in-flight messages are not yet journaled"
+            )
+        return None
+    if networked and hasattr(args, "name"):
+        offending = tuned or ["--partition-plan"]
+        return (
+            f"{'/'.join(offending)} shape{'s' if len(offending) == 1 else ''} "
+            "the unreliable-network mesh; run `scenario mesh`, or drop "
+            f"{'the flag' if len(offending) == 1 else 'the flags'}"
+        )
+    # replay: the mesh engages via --partition-plan (0-duration = benign)
+    if tuned and args.partition_plan is None:
+        return (
+            f"{'/'.join(tuned)} tune{'s' if len(tuned) == 1 else ''} the "
+            "unreliable-network mesh; pass --partition-plan START:DURATION "
+            "(0 duration for a benign network) or drop "
+            f"{'the flag' if len(tuned) == 1 else 'the flags'}"
+        )
+    if networked and args.front_door:
+        return (
+            "--front-door layers a second admission path over the "
+            "mesh's own enclave admission; drop one of the two"
+        )
+    if networked and args.policy != "rota":
+        return (
+            "the mesh replay runs the ROTA-exact enclave path; "
+            f"--policy {args.policy} cannot drive it"
+        )
+    return None
+
+
+def _mesh_plan(args: argparse.Namespace, *, horizon: int | None = None):
+    """Build the :class:`PartitionPlan` the network flags describe.
+
+    Raises :class:`~repro.errors.FaultInjectionError` on bad values
+    (e.g. a partition starting past the horizon, or a TTL too short to
+    fit a renewal inside)."""
+    from repro.faults import PartitionPlan
+
+    seed = args.network_seed
+    if seed is None:
+        seed = getattr(args, "seed", None) or 0
+    kwargs: dict = {"seed": seed}
+    if horizon is not None:
+        kwargs["horizon"] = horizon
+    if args.partition_plan is not None:
+        start, duration = args.partition_plan
+        kwargs["partition_start"] = start
+        kwargs["partition_duration"] = duration
+    if args.link_delay is not None:
+        kwargs["link_delay"] = args.link_delay
+    if args.link_loss is not None:
+        kwargs["link_loss"] = args.link_loss
+    if args.lease_ttl is not None:
+        kwargs["lease_ttl"] = args.lease_ttl
+        # Keep the default 3:1 ttl/renewal cadence of the plan.
+        kwargs["renew_every"] = max(1, args.lease_ttl // 3)
+    return PartitionPlan(**kwargs)
+
+
+def _mesh_lines(report, policy) -> list[str]:
+    """Channel/lease/recovery digest lines for a mesh run."""
+    stats = policy.channel.stats
+    return [
+        f"  messages: sent={stats.sent} delivered={stats.delivered} "
+        f"lost={stats.lost} severed={stats.severed} "
+        f"duplicated={stats.duplicated}",
+        f"  leases: granted={len(policy.leases)} "
+        f"expired={len(policy.leases.expired())} "
+        f"late_acks={policy.late_acks}",
+        f"  rpc: failures={policy.rpc_failures} "
+        f"strays={policy.stray_verdicts} "
+        f"delay_charged={float(policy.network_delay_charged):g}",
+        f"  promises: violations={len(report.violations)} "
+        f"recovered={report.recovered} abandoned={report.abandoned}",
+    ]
 
 
 def _service_config(args: argparse.Namespace):
@@ -366,6 +556,12 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if door_error is not None:
         print(f"error: {door_error}", file=sys.stderr)
         return 2
+    network_error = _check_network_flags(args)
+    if network_error is not None:
+        print(f"error: {network_error}", file=sys.stderr)
+        return 2
+    if args.name == "mesh":
+        return _cmd_scenario_mesh(args)
     service_config = None
     if args.front_door:
         try:
@@ -455,6 +651,33 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if door_lines:
         print("front door (shed/breaker/brownout):")
         print("\n".join(door_lines))
+    return 0
+
+
+def _cmd_scenario_mesh(args: argparse.Namespace) -> int:
+    """The mesh scenario: enclaves admitting over an unreliable network."""
+    from repro.errors import FaultInjectionError
+    from repro.faults import run_mesh
+
+    try:
+        plan = _mesh_plan(args)
+    except FaultInjectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _metrics_session(args):
+        report, policy = run_mesh(plan)
+    window = (
+        f"[{plan.partition_start}, {plan.partition_end})"
+        if plan.partition_duration
+        else "none"
+    )
+    print(policy_table(
+        [score(report)],
+        title=f"scenario=mesh partition={window} "
+        f"loss={plan.link_loss:g} delay={plan.link_delay}",
+    ))
+    print("unreliable network:")
+    print("\n".join(_mesh_lines(report, policy)))
     return 0
 
 
@@ -563,6 +786,10 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if door_error is not None:
         print(f"error: {door_error}", file=sys.stderr)
         return 2
+    network_error = _check_network_flags(args)
+    if network_error is not None:
+        print(f"error: {network_error}", file=sys.stderr)
+        return 2
     service_config = None
     if args.front_door:
         from repro.errors import ServiceConfigError
@@ -588,16 +815,37 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     except RotaError as exc:
         print(f"error: malformed input: {exc}", file=sys.stderr)
         return 2
-    policy_cls = next(cls for cls in ALL_POLICIES if cls.name == args.policy)
-    policy = policy_cls()
-    allocation = ReservationPolicy() if isinstance(policy, RotaAdmission) else None
-    if service_config is not None:
-        from repro.service import FrontDoorPolicy
+    recovery = None
+    if args.partition_plan is not None:
+        from repro.errors import FaultInjectionError
+        from repro.faults import MeshPolicy, RecoveryPolicy
 
-        policy = FrontDoorPolicy(policy, service_config)
+        try:
+            plan = _mesh_plan(args, horizon=max(1, int(args.horizon)))
+        except FaultInjectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        policy = MeshPolicy(plan)
+        allocation = None
+        recovery = RecoveryPolicy()
+    else:
+        policy_cls = next(
+            cls for cls in ALL_POLICIES if cls.name == args.policy
+        )
+        policy = policy_cls()
+        allocation = (
+            ReservationPolicy() if isinstance(policy, RotaAdmission) else None
+        )
+        if service_config is not None:
+            from repro.service import FrontDoorPolicy
+
+            policy = FrontDoorPolicy(policy, service_config)
     with _metrics_session(args):
         simulator = OpenSystemSimulator(
-            policy, initial_resources=initial, allocation_policy=allocation
+            policy,
+            initial_resources=initial,
+            allocation_policy=allocation,
+            recovery=recovery,
         )
         simulator.schedule(*events)
         report = simulator.run(args.horizon)
@@ -605,6 +853,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if service_config is not None:
         print("front door (shed/breaker/brownout):")
         print(_door_summary_line(policy, args.horizon))
+    if args.partition_plan is not None:
+        print("unreliable network:")
+        print("\n".join(_mesh_lines(report, policy)))
     return 0
 
 

@@ -4,6 +4,7 @@ Hierarchical enclaves, each reasoning only over its own resource slice.
 """
 
 from repro.encapsulation.enclave import Enclave, EnclaveError
+from repro.encapsulation.lease import Lease, LeaseTable
 from repro.encapsulation.policy import EnclaveAdmission
 from repro.encapsulation.search import (
     SearchBudgetError,
@@ -17,6 +18,8 @@ __all__ = [
     "Enclave",
     "EnclaveError",
     "EnclaveAdmission",
+    "Lease",
+    "LeaseTable",
     "SearchBudgetError",
     "SearchOutcome",
     "default_probe_cost",

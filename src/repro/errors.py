@@ -97,3 +97,20 @@ class ServiceError(RotaError, RuntimeError):
     """The admission front door reached an inconsistent state (arrivals
     offered out of order, a brownout screen contradicting the exact
     check, ...)."""
+
+
+class ChannelError(RotaError, ValueError):
+    """The message channel or its network model is misconfigured or
+    misused (loss probabilities outside [0, 1], negative delays, a
+    delivery pulled before its due time, an unknown endpoint, ...).
+
+    Injected message loss, duplication, reordering, and partitions are
+    *not* errors — they are the modelled environment; this error marks
+    bugs in the modelling machinery itself."""
+
+
+class LeaseError(RotaError, ValueError):
+    """The promise-lease discipline was violated (granting a duplicate
+    lease id, renewing or expiring a lease that was never granted, a
+    non-positive ttl, ...).  A lease *expiring* because renewals could
+    not cross a partition is the modelled behaviour, never this error."""

@@ -30,6 +30,16 @@ from repro.faults.chaos import (
     report_fingerprint,
 )
 from repro.faults.detection import Victim, find_victims, residual_requirement
+from repro.faults.netfaults import (
+    MeshPolicy,
+    NetfaultPoint,
+    NetfaultResult,
+    PartitionPlan,
+    admitted_promise_violations,
+    chaos_partition_matrix,
+    mesh_events,
+    run_mesh,
+)
 from repro.faults.overload import (
     OverloadPlan,
     OverloadPoint,
@@ -46,16 +56,24 @@ __all__ = [
     "CrashPoint",
     "ExponentialBackoff",
     "FaultPlan",
+    "MeshPolicy",
+    "NetfaultPoint",
+    "NetfaultResult",
     "OverloadPlan",
     "OverloadPoint",
     "OverloadResult",
+    "PartitionPlan",
     "SimulatedCrash",
+    "admitted_promise_violations",
     "chaos_crash_matrix",
     "chaos_overload_matrix",
+    "chaos_partition_matrix",
     "crashing_opener",
     "diff_fingerprints",
     "faulty_scenario",
     "find_victims",
+    "mesh_events",
+    "run_mesh",
     "report_fingerprint",
     "residual_requirement",
     "PromiseViolation",

@@ -1,0 +1,902 @@
+"""Unreliable networks: partitions, message loss, and lease-based
+promise renegotiation across the enclave hierarchy.
+
+Everything before this module assumed the control plane was free:
+admission verdicts, capacity joins, and migration offers moved between
+enclaves instantly and reliably.  Here they become wire messages on a
+:class:`~repro.system.channel.MessageChannel` — delayed, lost,
+duplicated, reordered, and severed by scheduled partitions — and the
+temporal-reasoning story extends to the network itself:
+
+* **Network time is deadline time.**  A cross-enclave admission is a
+  request/verdict RPC with timeout and seeded-backoff retries; the whole
+  exchange's elapsed time is charged against the arrival's deadline via
+  :func:`~repro.decision.admission.clip_start` *before* the Theorem-4
+  check runs, so a verdict that crawled through a lossy link admits
+  strictly less than a prompt one.
+* **Cross-enclave capacity is leased, not owned.**  A mid-run join
+  destined for a child enclave crosses the wire and arrives as a
+  :class:`~repro.encapsulation.lease.Lease`-backed grant that must be
+  renewed over the channel.  A partitioned child cannot renew: at expiry
+  it *conservatively renounces* the leased remainder — a measured
+  ``"lease-expired"`` capacity loss that flows through the ordinary
+  promise-violation pipeline (evict, Theorem-4 re-admission against the
+  local allotment, salvage on abandonment).  Degraded autonomy is
+  literal: while cut off, the enclave re-decides victims against what it
+  owns outright, no round trip.
+* **Heal means reconcile.**  When a partition heals, the policy settles
+  the partitioned sides' accounts: every lease that lapsed during the
+  window is reported with its renounced quantity and dependents, and the
+  extended conservation identity
+  ``offered = consumed + expired + lost + shed + lease-expired``
+  keeps holding at every slice throughout.
+
+:func:`chaos_partition_matrix` sweeps partition start/duration x loss x
+delay and asserts the two properties that make the model trustworthy:
+**zero admitted-promise violations** (no admitted computation silently
+misses — every one completes, recovers, or is honestly abandoned with
+salvage) and **replay identity** (every cell, run twice, produces
+field-identical report fingerprints — fates are stateless SHA-256 draws,
+so an unreliable network is still a deterministic one).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.backoff import Backoff
+from repro.baselines.base import AdmissionPolicy, PolicyDecision
+from repro.computation.requirements import ConcurrentRequirement
+from repro.decision.admission import clip_start
+from repro.encapsulation.enclave import Enclave
+from repro.encapsulation.lease import Lease, LeaseTable
+from repro.errors import ChannelError, FaultInjectionError
+from repro.faults.chaos import diff_fingerprints, report_fingerprint
+from repro.faults.recovery import RecoveryPolicy
+from repro.intervals.interval import Interval, Time
+from repro.resources.located_type import Node
+from repro.resources.resource_set import ResourceSet
+from repro.system.channel import (
+    LinkConfig,
+    MessageChannel,
+    NetworkModel,
+    PartitionSpan,
+)
+from repro.system.events import (
+    Event,
+    arrival,
+    partition_heal,
+    partition_start,
+    resource_join,
+)
+from repro.system.simulator import OpenSystemSimulator, SimulationReport
+from repro.workloads.partition import mesh_names, partitioned_mesh_stream
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Deterministic description of one unreliable-network experiment.
+
+    Same shape discipline as :class:`~repro.faults.plan.FaultPlan` and
+    :class:`~repro.faults.overload.OverloadPlan`: a frozen value object
+    validated on construction, so a plan can be logged, replayed, and
+    swept by :func:`dataclasses.replace` without surprises.
+    """
+
+    seed: int = 0
+    #: child enclaves behind the door node ``n0``
+    children: int = 2
+    #: partition window start; ``partition_duration == 0`` disables it
+    partition_start: Time = 18
+    partition_duration: Time = 10
+    #: child nodes the partition cuts off from the door
+    severed: Tuple[str, ...] = ("n1",)
+    partition_name: str = "p0"
+    #: default link behaviour (applies to every door<->child link)
+    link_delay: int = 0
+    link_jitter: int = 0
+    link_loss: float = 0.0
+    link_duplicate: float = 0.0
+    #: lease discipline for cross-enclave grants
+    lease_ttl: Time = 6
+    renew_every: Time = 2
+    #: request/verdict exchange parameters
+    rpc_timeout: Time = 2
+    rpc_attempts: int = 3
+    #: workload shape (see :func:`repro.workloads.partition`)
+    node_rate: Time = 6
+    lease_rate: Time = 2
+    lease_joins_at: Tuple[Time, ...] = (6, 10)
+    horizon: Time = 48
+    deadline_slack: Time = 12
+
+    def __post_init__(self) -> None:
+        if self.children < 1:
+            raise FaultInjectionError(
+                f"children must be >= 1, got {self.children!r}"
+            )
+        if self.partition_start < 0 or self.partition_duration < 0:
+            raise FaultInjectionError(
+                f"partition window must be non-negative, got "
+                f"start={self.partition_start!r} "
+                f"duration={self.partition_duration!r}"
+            )
+        names = mesh_names(self.children)
+        if self.partition_duration > 0:
+            if not self.severed:
+                raise FaultInjectionError(
+                    "a partition must sever at least one child"
+                )
+            for node in self.severed:
+                if node not in names[1:]:
+                    raise FaultInjectionError(
+                        f"severed node {node!r} is not a child of the mesh "
+                        f"(children: {', '.join(names[1:])})"
+                    )
+            if self.partition_start >= self.horizon:
+                raise FaultInjectionError(
+                    f"partition_start {self.partition_start!r} must precede "
+                    f"the horizon {self.horizon!r}"
+                )
+        try:
+            LinkConfig(
+                delay=self.link_delay,
+                jitter=self.link_jitter,
+                loss=self.link_loss,
+                duplicate=self.link_duplicate,
+            )
+        except ChannelError as exc:
+            raise FaultInjectionError(str(exc)) from None
+        if self.lease_ttl <= 0:
+            raise FaultInjectionError(
+                f"lease_ttl must be > 0, got {self.lease_ttl!r}"
+            )
+        if not 0 < self.renew_every < self.lease_ttl:
+            raise FaultInjectionError(
+                f"renew_every must lie in (0, lease_ttl), got "
+                f"{self.renew_every!r} against ttl {self.lease_ttl!r} "
+                "(a lease renewed less often than it expires is dead "
+                "on a perfect network too)"
+            )
+        if self.rpc_timeout <= 0:
+            raise FaultInjectionError(
+                f"rpc_timeout must be > 0, got {self.rpc_timeout!r}"
+            )
+        if self.rpc_attempts < 1:
+            raise FaultInjectionError(
+                f"rpc_attempts must be >= 1, got {self.rpc_attempts!r}"
+            )
+        if self.horizon <= 0:
+            raise FaultInjectionError(
+                f"horizon must be > 0, got {self.horizon!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def door(self) -> str:
+        return mesh_names(self.children)[0]
+
+    @property
+    def node_names(self) -> Tuple[str, ...]:
+        return mesh_names(self.children)
+
+    @property
+    def partition_end(self) -> Time:
+        return self.partition_start + self.partition_duration
+
+    @property
+    def severed_links(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple((self.door, node) for node in self.severed)
+
+    @property
+    def is_benign(self) -> bool:
+        """No partition and a perfect link: the perfect-network baseline."""
+        return self.partition_duration == 0 and self.link().is_perfect
+
+    # ------------------------------------------------------------------
+    def link(self) -> LinkConfig:
+        return LinkConfig(
+            delay=self.link_delay,
+            jitter=self.link_jitter,
+            loss=self.link_loss,
+            duplicate=self.link_duplicate,
+        )
+
+    def network(self) -> NetworkModel:
+        partitions: Tuple[PartitionSpan, ...] = ()
+        if self.partition_duration > 0:
+            partitions = (
+                PartitionSpan(
+                    start=self.partition_start,
+                    end=self.partition_end,
+                    severed=self.severed_links,
+                    name=self.partition_name,
+                ),
+            )
+        return NetworkModel(
+            seed=self.seed, default=self.link(), partitions=partitions
+        )
+
+    def backoff(self) -> Backoff:
+        """Retry spacing for RPC retransmissions: short and jittered, so
+        retries from different arrivals never synchronise."""
+        return Backoff(base=1, factor=2.0, cap=4, jitter=0.25, seed=self.seed)
+
+
+class MeshPolicy(AdmissionPolicy):
+    """Admission over an enclave mesh whose control plane is a network.
+
+    The door enclave (``n0``) fronts the system; each child node is its
+    own enclave carved from the initial allotment.  Every cross-enclave
+    interaction is a wire message:
+
+    * arrivals targeting a child are decided by an ``admit`` RPC whose
+      elapsed time (delays, timeouts, retries) is charged against the
+      deadline before the child's Theorem-4 check;
+    * mid-run joins destined for a child are *sent* — a lost or severed
+      join is shed at the boundary (the ``+ shed`` conservation leg), a
+      delivered one becomes a lease-backed grant on the child's
+      controller;
+    * leases are renewed holder -> grantor with acks back; a partition
+      blocks both legs, so the lease lapses and the child conservatively
+      renounces the remainder (the ``+ lease-expired`` leg), evicting
+      dependents into the recovery pipeline;
+    * a victim's re-admission is decided *locally* by its own enclave
+      (degraded autonomy — no round trip); only if the local allotment
+      cannot re-assure the deadline are migration offers sent to other
+      enclaves over the wire.
+
+    The policy is picklable (plans, network model, channel, enclave tree,
+    lease table — all plain data), so checkpoint/resume keeps working.
+    """
+
+    name = "netmesh"
+
+    def __init__(self, plan: PartitionPlan) -> None:
+        self._plan = plan
+        self._network = plan.network()
+        self._channel = MessageChannel(self._network, name="mesh")
+        self._backoff = plan.backoff()
+        self._door = plan.door
+        self._node_names = plan.node_names
+        # The enclave tree is built lazily from the first
+        # observe_resources call (the simulator's initial-resources
+        # priming), so the same policy object works with any base set.
+        self._root: Optional[Enclave] = None
+        self._enclaves: Dict[str, Enclave] = {}
+        self._leases = LeaseTable()
+        self._placements: Dict[str, str] = {}
+        #: wire msg_ids already applied (duplicate deliveries are dropped)
+        self._applied: Dict[str, bool] = {}
+        #: leases lapsed since the last reconciliation, with expiry time
+        self._unreconciled: List[Tuple[Lease, Time]] = []
+        #: renounced quantity per lease id, measured at expiry
+        self._renounced: Dict[str, Time] = {}
+        self._rpc_seq = 0
+        # Observational tallies (reported by benchmarks, never traced).
+        self.network_delay_charged: Time = 0
+        self.rpc_failures = 0
+        self.stray_verdicts = 0
+        self.late_acks = 0
+        self.joins_shed = 0
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def channel(self) -> MessageChannel:
+        return self._channel
+
+    @property
+    def leases(self) -> LeaseTable:
+        return self._leases
+
+    @property
+    def root(self) -> Optional[Enclave]:
+        return self._root
+
+    def placement_of(self, label: str) -> Optional[str]:
+        return self._placements.get(label)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _advance(self, now: Time) -> None:
+        if self._root is None:
+            return
+        for enclave in self._root.walk():
+            enclave.controller.advance_to(now)
+
+    @staticmethod
+    def _location_name(ltype) -> str:
+        where = ltype.location
+        if isinstance(where, Node):
+            return where.name
+        return where.source.name
+
+    def _split_by_node(
+        self, resources: ResourceSet
+    ) -> List[Tuple[str, ResourceSet]]:
+        groups: Dict[str, Dict] = {}
+        for ltype in resources.located_types:
+            groups.setdefault(self._location_name(ltype), {})[ltype] = (
+                resources.profile(ltype)
+            )
+        return [
+            (node, ResourceSet.from_profiles(profiles))
+            for node, profiles in groups.items()
+        ]
+
+    def _target_node(self, requirement: ConcurrentRequirement) -> str:
+        for component in requirement.components:
+            for phase in component.phases:
+                for ltype in phase:
+                    return self._location_name(ltype)
+        return self._door
+
+    def _attach(self, node: str, label: str) -> None:
+        """Admissions at a child ride every lease active there: their
+        promise is only as durable as the pledges backing the slack."""
+        for lease in self._leases.active(self._enclaves[node].controller.now):
+            if lease.holder == node:
+                lease.attach(label)
+
+    # ------------------------------------------------------------------
+    # AdmissionPolicy interface
+    # ------------------------------------------------------------------
+    def observe_resources(self, resources: ResourceSet, now: Time) -> None:
+        if self._root is None:
+            # Priming call: the base allotments, owned outright (the only
+            # capacity that is *not* leased).  Children are carved from
+            # the root per node.
+            self._root = Enclave.root(
+                resources, name=self._door, now=now, align=1
+            )
+            self._enclaves = {self._door: self._root}
+            portions = dict(self._split_by_node(resources))
+            for node in self._node_names[1:]:
+                allotment = portions.get(node, ResourceSet.empty())
+                self._enclaves[node] = self._root.spawn(node, allotment)
+            return
+        # A later join: admit_resources already put the child-bound
+        # portions on the wire (they join their enclaves at delivery,
+        # via poll); only the door's own portion lands here directly.
+        self._advance(now)
+        for node, portion in self._split_by_node(resources):
+            if node == self._door:
+                self._root.controller.add_resources(portion)
+
+    def admit_resources(self, resources: ResourceSet, now: Time) -> ResourceSet:
+        """Send child-bound join portions over the wire; a lost or
+        severed join never enters the system — it is shed at the
+        boundary, the simulator measures it, conservation extends."""
+        if self._root is None:
+            return resources
+        kept: Dict = {}
+        dropped = False
+        for node, portion in self._split_by_node(resources):
+            if node == self._door:
+                for ltype in portion.located_types:
+                    kept[ltype] = portion.profile(ltype)
+                continue
+            record = self._channel.send(
+                "join",
+                self._door,
+                node,
+                now,
+                msg_id=f"join:{node}@{now}",
+                payload=portion,
+            )
+            if record.delivered:
+                for ltype in portion.located_types:
+                    kept[ltype] = portion.profile(ltype)
+            else:
+                dropped = True
+                self.joins_shed += 1
+        if not dropped:
+            return resources
+        return ResourceSet.from_profiles(kept)
+
+    def decide(
+        self, requirement: ConcurrentRequirement, now: Time
+    ) -> PolicyDecision:
+        if self._root is None:
+            return PolicyDecision(False, reason="mesh has no resources yet")
+        self._advance(now)
+        label = requirement.components[0].label.split("[")[0] or "arrival"
+        placed = self._placements.get(label)
+        if placed is not None:
+            return self._redecide(label, placed, requirement, now)
+        target = self._target_node(requirement)
+        enclave = self._enclaves.get(target)
+        if enclave is None:
+            return PolicyDecision(
+                False, reason=f"no enclave at node {target!r}"
+            )
+        if target == self._door:
+            decision = enclave.admit(requirement)
+        else:
+            # Cross-enclave admission: request/verdict over the wire,
+            # elapsed network time charged against the deadline.
+            self._rpc_seq += 1
+            outcome = self._channel.rpc(
+                "admit",
+                self._door,
+                target,
+                now,
+                key=f"{label}:a{self._rpc_seq}",
+                deadline=requirement.deadline,
+                timeout=self._plan.rpc_timeout,
+                backoff=self._backoff,
+                max_attempts=self._plan.rpc_attempts,
+            )
+            self.stray_verdicts += outcome.stray_replies
+            if not outcome.ok:
+                self.rpc_failures += 1
+                return PolicyDecision(
+                    False,
+                    reason=(
+                        f"enclave {target!r} unreachable: no admission "
+                        f"verdict after {outcome.attempts} attempt(s)"
+                    ),
+                )
+            if outcome.completed_at >= requirement.deadline:
+                self.rpc_failures += 1
+                return PolicyDecision(
+                    False,
+                    reason=(
+                        f"verdict from {target!r} landed at "
+                        f"t={outcome.completed_at} — after the deadline"
+                    ),
+                )
+            self.network_delay_charged = (
+                self.network_delay_charged + outcome.elapsed(now)
+            )
+            checked = (
+                clip_start(requirement, outcome.completed_at)
+                if outcome.completed_at > now
+                else requirement
+            )
+            decision = enclave.admit(checked)
+        if decision.admitted:
+            self._placements[label] = target
+            self._attach(target, label)
+            return PolicyDecision(True, schedule=decision.schedule)
+        return PolicyDecision(
+            False,
+            reason=decision.reason
+            or f"enclave {target!r} cannot assure the deadline",
+        )
+
+    def _redecide(
+        self,
+        label: str,
+        placed: str,
+        requirement: ConcurrentRequirement,
+        now: Time,
+    ) -> PolicyDecision:
+        """Recovery re-admission: degraded autonomy first, offers second.
+
+        The victim's own enclave decides on its *local* allotment — no
+        round trip, so a partitioned enclave keeps re-admitting on what
+        it owns outright.  Only when the local check fails are migration
+        offers sent to the other enclaves over the (possibly severed)
+        wire, each one's latency charged against the deadline.
+        """
+        local = self._enclaves[placed]
+        decision = local.admit(requirement)
+        if decision.admitted:
+            self._attach(placed, label)
+            return PolicyDecision(True, schedule=decision.schedule)
+        for node in self._node_names:
+            if node == placed:
+                continue
+            self._rpc_seq += 1
+            outcome = self._channel.rpc(
+                "migrate",
+                placed,
+                node,
+                now,
+                key=f"{label}:m{self._rpc_seq}",
+                deadline=requirement.deadline,
+                timeout=self._plan.rpc_timeout,
+                backoff=self._backoff,
+                max_attempts=1,
+            )
+            self.stray_verdicts += outcome.stray_replies
+            if not outcome.ok:
+                self.rpc_failures += 1
+                continue
+            if outcome.completed_at >= requirement.deadline:
+                continue
+            self.network_delay_charged = (
+                self.network_delay_charged + outcome.elapsed(now)
+            )
+            offered = (
+                clip_start(requirement, outcome.completed_at)
+                if outcome.completed_at > now
+                else requirement
+            )
+            accepted = self._enclaves[node].admit(offered)
+            if accepted.admitted:
+                self._placements[label] = node
+                self._attach(node, label)
+                self.migrations += 1
+                return PolicyDecision(True, schedule=accepted.schedule)
+        return PolicyDecision(
+            False,
+            reason=(
+                f"degraded autonomy: enclave {placed!r} cannot re-assure "
+                f"{label!r} locally and no reachable enclave accepted "
+                "the migration offer"
+            ),
+        )
+
+    def observe_loss(self, lost: ResourceSet, now: Time) -> None:
+        """Route a measured loss to the enclaves owning the capacity."""
+        if self._root is None:
+            return
+        self._advance(now)
+        for node, portion in self._split_by_node(lost):
+            enclave = self._enclaves.get(node)
+            if enclave is not None:
+                enclave.controller.revoke_resources(portion)
+
+    def forfeit(self, label: str, now: Time) -> None:
+        placed = self._placements.get(label)
+        if placed is None:
+            return
+        controller = self._enclaves[placed].controller
+        controller.advance_to(now)
+        try:
+            controller.forfeit(label)
+        except Exception:
+            # Eviction is best-effort by design (see RotaAdmission).
+            pass
+
+    def on_leave(self, label: str, now: Time) -> None:
+        placed = self._placements.pop(label, None)
+        if placed is None:
+            return
+        controller = self._enclaves[placed].controller
+        try:
+            controller.withdraw(label, now=now)
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Channel hooks (driven by the simulator each slice)
+    # ------------------------------------------------------------------
+    def poll(
+        self, now: Time
+    ) -> Iterator[Tuple[Optional[ResourceSet], str, str]]:
+        """One slice of network housekeeping.
+
+        Delivers due wire messages (joins become lease-backed grants,
+        renewals are acked, acks extend expiries), sends due renewal
+        requests, then conservatively expires unrenewable leases — acks
+        are processed *before* the expiry check, so a renewal that beat
+        the lapse always wins.  Yields ``(lost, cause, message)``
+        incidents; a lease expiry's renounced remainder flows through
+        the simulator's ordinary fault path.
+        """
+        if self._root is None:
+            return
+        self._advance(now)
+        plan = self._plan
+        for record in self._channel.deliver_due(now):
+            if self._applied.get(record.msg_id):
+                yield (
+                    None,
+                    "",
+                    f"duplicate {record.kind} {record.msg_id!r} dropped",
+                )
+                continue
+            self._applied[record.msg_id] = True
+            if record.kind == "join":
+                node = record.dst
+                grant: ResourceSet = record.payload
+                usable = grant.truncate_before(now)
+                self._enclaves[node].controller.add_resources(usable)
+                lease = self._leases.grant(
+                    Lease(
+                        lease_id=record.msg_id,
+                        grantor=self._door,
+                        holder=node,
+                        resources=grant,
+                        granted_at=now,
+                        expires_at=now + plan.lease_ttl,
+                        ttl=plan.lease_ttl,
+                        renew_every=plan.renew_every,
+                    )
+                )
+                yield (
+                    None,
+                    "",
+                    f"lease {lease.lease_id!r} granted to {node!r} "
+                    f"(ttl {plan.lease_ttl})",
+                )
+            elif record.kind == "lease-renew":
+                # Landed at the grantor: ack back over the wire.
+                self._channel.send(
+                    "lease-ack",
+                    record.dst,
+                    record.src,
+                    now,
+                    msg_id=f"{record.msg_id}:ack",
+                    payload=record.payload,
+                )
+            elif record.kind == "lease-ack":
+                lease = self._leases.get(record.payload)
+                if lease.expired:
+                    self.late_acks += 1
+                    yield (
+                        None,
+                        "",
+                        f"late renewal ack for expired lease "
+                        f"{lease.lease_id!r} ignored",
+                    )
+                else:
+                    lease.renew(now)
+        for lease in self._leases.due_renewals(now):
+            lease.mark_renewal_sent(now)
+            sent = self._channel.send(
+                "lease-renew",
+                lease.holder,
+                lease.grantor,
+                now,
+                msg_id=f"{lease.lease_id}:renew@{now}",
+                payload=lease.lease_id,
+            )
+            if not sent.delivered:
+                lease.failed_renewals += 1
+        for lease in self._leases.expire_due(now):
+            remaining = lease.remaining(now)
+            quantity: Time = 0
+            measure = Interval(now, plan.horizon)
+            for ltype in remaining.located_types:
+                quantity = quantity + remaining.quantity(ltype, measure)
+            self._renounced[lease.lease_id] = quantity
+            self._unreconciled.append((lease, now))
+            yield (
+                None if remaining.is_empty else remaining,
+                "lease-expired",
+                f"lease {lease.lease_id!r} expired unrenewable at t={now} "
+                f"after {lease.failed_renewals} failed renewal(s): "
+                f"{lease.holder!r} conservatively renounces the remainder",
+            )
+
+    def on_partition(
+        self, name: str, links, now: Time, *, healed: bool = False
+    ) -> Iterator[str]:
+        """Partition boundaries: degraded autonomy on start, account
+        reconciliation on heal (returned lines become trace notes)."""
+        self._advance(now)
+        cut: List[str] = []
+        for pair in links:
+            for endpoint in pair:
+                if endpoint != self._door and endpoint not in cut:
+                    cut.append(endpoint)
+        if not healed:
+            for node in cut:
+                yield (
+                    f"enclave {node!r} enters degraded autonomy "
+                    f"(link to {self._door!r} severed)"
+                )
+            return
+        settled = list(self._unreconciled)
+        self._unreconciled = []
+        stats = self._channel.stats
+        yield (
+            f"partition {name!r} reconciled: {len(settled)} lease(s) "
+            f"settled expired, {stats.severed} message(s) severed, "
+            f"{self.rpc_failures} rpc failure(s) so far"
+        )
+        for lease, at in settled:
+            quantity = self._renounced.get(lease.lease_id, 0)
+            yield (
+                f"reconcile lease {lease.lease_id!r}: expired t={at}, "
+                f"renounced quantity {float(quantity):g}, "
+                f"dependents {list(lease.dependents)!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Scenario plumbing
+# ----------------------------------------------------------------------
+def mesh_events(plan: PartitionPlan) -> Tuple[ResourceSet, List[Event]]:
+    """The plan's full event list: arrivals, lease-backed joins, and —
+    when a partition is scheduled — its start/heal boundary events."""
+    resources, stream, joins = partitioned_mesh_stream(
+        plan.seed,
+        children=plan.children,
+        node_rate=plan.node_rate,
+        horizon=plan.horizon,
+        lease_joins_at=plan.lease_joins_at,
+        lease_rate=plan.lease_rate,
+        deadline_slack=plan.deadline_slack,
+    )
+    events: List[Event] = [
+        arrival(at, requirement, label=label)
+        for at, label, requirement in stream
+    ]
+    events.extend(resource_join(at, joining) for at, joining in joins)
+    if plan.partition_duration > 0:
+        events.append(
+            partition_start(
+                plan.partition_start, plan.partition_name, plan.severed_links
+            )
+        )
+        events.append(
+            partition_heal(
+                plan.partition_end, plan.partition_name, plan.severed_links
+            )
+        )
+    return resources, events
+
+
+def run_mesh(
+    plan: PartitionPlan,
+    *,
+    invariant_interval: int = 1,
+    recovery: Optional[RecoveryPolicy] = None,
+) -> Tuple[SimulationReport, MeshPolicy]:
+    """One full mesh run under the plan's network, with recovery on and
+    (by default) the extended conservation identity asserted per slice."""
+    resources, events = mesh_events(plan)
+    policy = MeshPolicy(plan)
+    simulator = OpenSystemSimulator(
+        policy,
+        initial_resources=resources,
+        recovery=recovery or RecoveryPolicy(),
+        invariant_interval=invariant_interval,
+    )
+    simulator.schedule(*events)
+    return simulator.run(plan.horizon), policy
+
+
+def admitted_promise_violations(report: SimulationReport) -> List[str]:
+    """Labels of admitted computations whose promise silently broke.
+
+    ``missed`` is the violation the model must rule out; ``running`` at
+    the horizon means a promise was neither kept nor honestly settled.
+    Recovered and abandoned-with-salvage records are *not* violations —
+    they went through the renegotiation pipeline."""
+    return [
+        r.label for r in report.records if r.outcome in ("missed", "running")
+    ]
+
+
+# ----------------------------------------------------------------------
+# The partition matrix
+# ----------------------------------------------------------------------
+@dataclass
+class NetfaultPoint:
+    """One cell of the partition matrix and what it proved."""
+
+    start: Time
+    duration: Time
+    loss: float
+    delay: int
+    arrivals: int = 0
+    admitted: int = 0
+    completed: int = 0
+    recovered: int = 0
+    abandoned: int = 0
+    lease_expirations: int = 0
+    rpc_failures: int = 0
+    #: admitted promises that silently broke (must stay empty)
+    violations: List[str] = field(default_factory=list)
+    #: the two runs' report fingerprints agree field-for-field
+    identical: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.identical and not self.violations and not self.detail
+
+
+@dataclass
+class NetfaultResult:
+    """Outcome of a full partition matrix."""
+
+    points: List[NetfaultPoint] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[NetfaultPoint]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.points) and not self.failures
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.points)} partition points, "
+            f"{len(self.points) - len(self.failures)} clean, "
+            f"{len(self.failures)} failures"
+        )
+
+
+def _mesh_point(plan: PartitionPlan) -> NetfaultPoint:
+    report_a, policy_a = run_mesh(plan)
+    report_b, _ = run_mesh(plan)
+    fp_a = report_fingerprint(report_a)
+    fp_b = report_fingerprint(report_b)
+    point = NetfaultPoint(
+        start=plan.partition_start,
+        duration=plan.partition_duration,
+        loss=plan.link_loss,
+        delay=plan.link_delay,
+        arrivals=report_a.arrivals,
+        admitted=report_a.admitted,
+        completed=report_a.completed,
+        recovered=report_a.recovered,
+        abandoned=report_a.abandoned,
+        lease_expirations=len(policy_a.leases.expired()),
+        rpc_failures=policy_a.rpc_failures,
+        violations=admitted_promise_violations(report_a),
+        identical=fp_a == fp_b,
+    )
+    # The whole-run extended identity; the per-slice version already ran
+    # inside the simulator (invariant_interval=1).
+    gaps = report_a.trace.conservation_gaps(report_a.offered)
+    if gaps:
+        point.detail = "conservation gaps: " + "; ".join(gaps)
+    elif not point.identical:
+        point.detail = "mesh reports diverge: " + ", ".join(
+            diff_fingerprints(fp_a, fp_b)
+        )
+    elif (
+        plan.partition_duration > plan.lease_ttl
+        and plan.severed
+        and not point.lease_expirations
+    ):
+        point.detail = (
+            "partition outlasted the ttl but no lease expired "
+            "(plan too gentle)"
+        )
+    return point
+
+
+def chaos_partition_matrix(
+    plan: PartitionPlan = PartitionPlan(),
+    *,
+    starts: Optional[Sequence[Time]] = None,
+    durations: Optional[Sequence[Time]] = None,
+    losses: Optional[Sequence[float]] = None,
+    delays: Optional[Sequence[int]] = None,
+) -> NetfaultResult:
+    """Sweep partition start/duration x loss x delay; callers assert
+    ``result.ok``.
+
+    Every cell runs the same seeded mesh twice and demands (1) zero
+    admitted-promise violations, (2) field-identical report fingerprints
+    (the PR-3 replay oracle), and (3) the extended conservation identity
+    — per slice inside the runs, whole-run here.  Defaults include the
+    benign cell (no partition, perfect link) as the baseline the
+    benchmark compares degraded goodput against.
+    """
+    if starts is None:
+        starts = (plan.partition_start,)
+    if durations is None:
+        durations = (0, plan.partition_duration)
+    if losses is None:
+        losses = (0.0, plan.link_loss if plan.link_loss else 0.15)
+    if delays is None:
+        delays = (0, plan.link_delay if plan.link_delay else 1)
+    result = NetfaultResult()
+    for duration in durations:
+        for start in starts:
+            for loss in losses:
+                for delay in delays:
+                    cell = dataclasses.replace(
+                        plan,
+                        partition_start=start,
+                        partition_duration=duration,
+                        link_loss=loss,
+                        link_delay=delay,
+                    )
+                    result.points.append(_mesh_point(cell))
+    return result

@@ -86,6 +86,12 @@ class ServiceConfig:
     #: remaining window exceeds this multiple of the estimated
     #: wait-plus-check time — it can afford to be deferred.
     criticality_laxity: int = 4
+    #: Per-attempt timeout of the door -> enclave verdict exchange when
+    #: the door runs over an unreliable network (no effect otherwise).
+    rpc_timeout: Time = 2
+    #: Attempts before the door declares an enclave unreachable and
+    #: sheds the arrival (network mode only).
+    rpc_attempts: int = 3
     #: Open -> half-open retry schedule (seeded jitter, keyed per
     #: enclave, so concurrent breakers never share an RNG stream).
     backoff: Backoff = field(
@@ -162,6 +168,18 @@ class ServiceConfig:
             raise ServiceConfigError(
                 f"criticality_laxity must be a positive integer, "
                 f"got {self.criticality_laxity!r}"
+            )
+        object.__setattr__(
+            self, "rpc_timeout", _as_exact("rpc_timeout", self.rpc_timeout)
+        )
+        if self.rpc_timeout <= 0:
+            raise ServiceConfigError(
+                f"rpc_timeout must be > 0, got {self.rpc_timeout!r}"
+            )
+        if not isinstance(self.rpc_attempts, int) or self.rpc_attempts < 1:
+            raise ServiceConfigError(
+                f"rpc_attempts must be a positive integer, "
+                f"got {self.rpc_attempts!r}"
             )
         if not isinstance(self.backoff, Backoff):
             raise ServiceConfigError(

@@ -10,13 +10,26 @@ from repro.system.events import (
     Event,
     NodeCrashEvent,
     RateDegradationEvent,
+    PartitionHealEvent,
+    PartitionStartEvent,
     RecoveryOfferEvent,
     ResourceJoinEvent,
     ResourceRevocationEvent,
     arrival,
     node_crash,
+    partition_heal,
+    partition_start,
     rate_degradation,
     resource_join,
+)
+from repro.system.channel import (
+    ChannelStats,
+    LinkConfig,
+    MessageChannel,
+    NetworkModel,
+    PartitionSpan,
+    RpcOutcome,
+    WireRecord,
 )
 from repro.system.checkpoint import (
     CheckpointStore,
@@ -52,14 +65,25 @@ __all__ = [
     "ComputationLeaveEvent",
     "Event",
     "NodeCrashEvent",
+    "PartitionHealEvent",
+    "PartitionStartEvent",
     "RateDegradationEvent",
     "RecoveryOfferEvent",
     "ResourceJoinEvent",
     "ResourceRevocationEvent",
     "arrival",
     "node_crash",
+    "partition_heal",
+    "partition_start",
     "rate_degradation",
     "resource_join",
+    "ChannelStats",
+    "LinkConfig",
+    "MessageChannel",
+    "NetworkModel",
+    "PartitionSpan",
+    "RpcOutcome",
+    "WireRecord",
     "Topology",
     "AllocationPolicy",
     "EdfPolicy",

@@ -1,0 +1,446 @@
+"""Deterministic message passing on the simulator's virtual clock.
+
+Everything that crosses an enclave boundary — capacity joins, admission
+check requests and verdicts, lease renewals, migration offers — flows
+through a :class:`MessageChannel` as :class:`WireRecord` s.  The channel
+is the modelled *environment* of the paper's open system: links delay,
+lose, duplicate, and reorder messages, and scheduled partitions sever
+them outright, all under a :class:`NetworkModel` whose every draw is a
+stateless function of ``(seed, link, message id)`` through SHA-256 — the
+same discipline as :class:`repro.backoff.Backoff`.  No shared stream, no
+draw-order coupling: replaying a run, resuming it mid-flight, or
+reordering two independent senders can never change a single fate.
+
+Delays are integral (they live on the event grid); retry spacing may be
+fractional (jittered backoff), and all arithmetic stays exact so the
+accumulated network time charged against a deadline via
+:func:`repro.decision.admission.clip_start` is a deterministic exact
+number, never a float dance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.backoff import Backoff
+from repro.errors import ChannelError
+from repro.intervals.interval import Time
+from repro.observability import get_registry
+
+#: Resolution of one fate draw: first 8 digest bytes, uniform on [0, 1).
+_DRAW_DENOMINATOR = 1 << 64
+
+#: Message fates a wire record can carry.
+FATES = ("delivered", "lost", "severed", "duplicated")
+
+
+def _check_probability(name: str, value) -> None:
+    if not 0 <= float(value) <= 1:
+        raise ChannelError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Behaviour of one (undirected) link between two endpoints."""
+
+    #: base one-way delay, in virtual ticks (integral: the event grid)
+    delay: int = 0
+    #: extra delay drawn uniformly from {0, ..., jitter}
+    jitter: int = 0
+    #: probability a message vanishes in flight
+    loss: float = 0.0
+    #: probability a delivered message arrives a second time
+    duplicate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.delay, int) or self.delay < 0:
+            raise ChannelError(
+                f"link delay must be a non-negative int, got {self.delay!r}"
+            )
+        if not isinstance(self.jitter, int) or self.jitter < 0:
+            raise ChannelError(
+                f"link jitter must be a non-negative int, got {self.jitter!r}"
+            )
+        _check_probability("link loss", self.loss)
+        _check_probability("link duplicate", self.duplicate)
+
+    @property
+    def is_perfect(self) -> bool:
+        return (
+            self.delay == 0
+            and self.jitter == 0
+            and not self.loss
+            and not self.duplicate
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSpan:
+    """A scheduled partition: the named links are severed on [start, end)."""
+
+    start: Time
+    end: Time
+    #: undirected endpoint pairs the partition cuts
+    severed: Tuple[Tuple[str, str], ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ChannelError(
+                f"partition window must be non-empty, got "
+                f"[{self.start!r}, {self.end!r})"
+            )
+        if not self.severed:
+            raise ChannelError("partition must sever at least one link")
+
+    def cuts(self, src: str, dst: str, at: Time) -> bool:
+        if not self.start <= at < self.end:
+            return False
+        return (src, dst) in self.severed or (dst, src) in self.severed
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Seeded, stateless oracle for every message's fate.
+
+    ``links`` overrides the ``default`` config per undirected endpoint
+    pair; the tuple-of-pairs shape keeps the model frozen, hashable, and
+    picklable inside checkpointed policies.
+    """
+
+    seed: int = 0
+    default: LinkConfig = field(default_factory=LinkConfig)
+    links: Tuple[Tuple[Tuple[str, str], LinkConfig], ...] = ()
+    partitions: Tuple[PartitionSpan, ...] = ()
+
+    # ------------------------------------------------------------------
+    def link(self, src: str, dst: str) -> LinkConfig:
+        for (a, b), config in self.links:
+            if (a, b) == (src, dst) or (b, a) == (src, dst):
+                return config
+        return self.default
+
+    def severed(self, src: str, dst: str, at: Time) -> bool:
+        return any(p.cuts(src, dst, at) for p in self.partitions)
+
+    def partition_windows(self) -> Tuple[Tuple[Time, Time], ...]:
+        return tuple((p.start, p.end) for p in self.partitions)
+
+    @property
+    def is_perfect(self) -> bool:
+        return (
+            not self.partitions
+            and self.default.is_perfect
+            and all(config.is_perfect for _, config in self.links)
+        )
+
+    # ------------------------------------------------------------------
+    def _draw(self, key: str) -> Fraction:
+        """One uniform draw on [0, 1) from ``(seed, key)`` — stateless,
+        SHA-256-derived (builtin ``hash`` is process-salted; a shared
+        ``random.Random`` would couple senders through draw order)."""
+        digest = hashlib.sha256(f"{self.seed}:{key}".encode()).digest()
+        return Fraction(int.from_bytes(digest[:8], "big"), _DRAW_DENOMINATOR)
+
+    def delay_of(self, src: str, dst: str, msg_id: str) -> int:
+        config = self.link(src, dst)
+        if not config.jitter:
+            return config.delay
+        spread = self._draw(f"{src}>{dst}:{msg_id}:delay")
+        return config.delay + int(spread * (config.jitter + 1))
+
+    def lost(self, src: str, dst: str, msg_id: str) -> bool:
+        config = self.link(src, dst)
+        if not config.loss:
+            return False
+        return self._draw(f"{src}>{dst}:{msg_id}:loss") < Fraction(
+            config.loss
+        ).limit_denominator(1_000_000)
+
+    def duplicated(self, src: str, dst: str, msg_id: str) -> bool:
+        config = self.link(src, dst)
+        if not config.duplicate:
+            return False
+        return self._draw(f"{src}>{dst}:{msg_id}:dup") < Fraction(
+            config.duplicate
+        ).limit_denominator(1_000_000)
+
+
+@dataclass(frozen=True)
+class WireRecord:
+    """One message's journey (or death) across a link."""
+
+    msg_id: str
+    kind: str
+    src: str
+    dst: str
+    sent_at: Time
+    fate: str  # one of FATES
+    #: arrival instant; None when the message never arrived
+    deliver_at: Optional[Time] = None
+    payload: object = None
+
+    @property
+    def delivered(self) -> bool:
+        return self.deliver_at is not None
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate accounting over one channel's lifetime."""
+
+    sent: int = 0
+    delivered: int = 0
+    lost: int = 0
+    severed: int = 0
+    duplicated: int = 0
+    #: sum of one-way delivery delays, in ticks
+    total_delay: Time = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def loss_fraction(self) -> float:
+        return (self.lost + self.severed) / self.sent if self.sent else 0.0
+
+
+@dataclass(frozen=True)
+class RpcOutcome:
+    """Result of a request/verdict exchange with timeout and retries."""
+
+    ok: bool
+    attempts: int
+    #: instant the verdict landed back at the requester (success only)
+    completed_at: Optional[Time] = None
+    #: instant the requester stopped trying (failure only)
+    gave_up_at: Optional[Time] = None
+    #: verdicts that arrived after their attempt's timeout had fired
+    stray_replies: int = 0
+
+    def elapsed(self, since: Time) -> Time:
+        end = self.completed_at if self.ok else self.gave_up_at
+        return end - since  # type: ignore[operator]
+
+
+class MessageChannel:
+    """A log-keeping conduit applying one :class:`NetworkModel`.
+
+    ``send`` decides a message's fate immediately (the model is
+    stateless) and, for deliveries, enqueues it; ``deliver_due`` hands
+    back everything whose arrival instant has passed, in arrival order —
+    which differs from send order whenever jitter says so (reordering is
+    emergent, not a separate knob).  Receivers own deduplication: a
+    ``duplicated`` record re-delivers the same ``msg_id``.
+    """
+
+    def __init__(self, network: NetworkModel, *, name: str = "channel") -> None:
+        self._network = network
+        self.name = name
+        self._log: List[WireRecord] = []
+        self._pending: List[Tuple[Time, int, WireRecord]] = []
+        self._pending_seq = 0
+        self._stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> NetworkModel:
+        return self._network
+
+    @property
+    def log(self) -> Tuple[WireRecord, ...]:
+        return tuple(self._log)
+
+    @property
+    def stats(self) -> ChannelStats:
+        return self._stats
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        now: Time,
+        *,
+        msg_id: str = "",
+        payload: object = None,
+        enqueue: bool = True,
+    ) -> WireRecord:
+        """Dispatch one message; returns its (primary) wire record."""
+        if src == dst:
+            raise ChannelError(
+                f"message {msg_id or kind!r} addressed to its own "
+                f"endpoint {src!r}"
+            )
+        if not msg_id:
+            msg_id = f"{kind}@{now}:{src}>{dst}"
+        network = self._network
+        if network.severed(src, dst, now):
+            record = WireRecord(msg_id, kind, src, dst, now, "severed",
+                                payload=payload)
+            self._account(record)
+            return record
+        if network.lost(src, dst, msg_id):
+            record = WireRecord(msg_id, kind, src, dst, now, "lost",
+                                payload=payload)
+            self._account(record)
+            return record
+        deliver_at = now + network.delay_of(src, dst, msg_id)
+        record = WireRecord(
+            msg_id, kind, src, dst, now, "delivered", deliver_at, payload
+        )
+        self._account(record)
+        if enqueue:
+            self._enqueue(record)
+        if network.duplicated(src, dst, msg_id):
+            echo_at = deliver_at + network.delay_of(
+                src, dst, msg_id + ":echo"
+            )
+            echo = WireRecord(
+                msg_id, kind, src, dst, now, "duplicated", echo_at, payload
+            )
+            self._account(echo)
+            if enqueue:
+                self._enqueue(echo)
+        return record
+
+    def deliver_due(self, now: Time) -> List[WireRecord]:
+        """Every enqueued record whose arrival instant has passed, in
+        arrival order (ties broken by send order)."""
+        due: List[WireRecord] = []
+        while self._pending and self._pending[0][0] <= now:
+            _, _, record = heapq.heappop(self._pending)
+            due.append(record)
+        return due
+
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        now: Time,
+        *,
+        key: str,
+        deadline: Time,
+        timeout: Time,
+        backoff: Backoff,
+        max_attempts: int = 8,
+        payload: object = None,
+    ) -> RpcOutcome:
+        """A request/verdict exchange with timeout, retries, and backoff.
+
+        Each attempt sends a request ``src -> dst``; a delivered request
+        triggers an immediate verdict ``dst -> src``.  The requester
+        waits ``timeout`` per attempt, then backs off (seeded jitter
+        keyed by ``key``) and retries — until the verdict lands, the
+        next attempt could no longer start before ``deadline``, or
+        ``max_attempts`` runs out.  Retransmitted requests reuse the
+        logical ``key``, so receivers can deduplicate (at-most-once
+        decisions); verdicts arriving after their attempt timed out are
+        counted as strays, never consumed.
+
+        Every leg is logged as wire records (not enqueued: the exchange
+        is resolved closed-form, which is equivalent because fates are
+        stateless — and exactly what keeps replay byte-identical).
+        """
+        if timeout <= 0:
+            raise ChannelError(f"rpc timeout must be > 0, got {timeout!r}")
+        if max_attempts < 1:
+            raise ChannelError(
+                f"rpc max_attempts must be >= 1, got {max_attempts!r}"
+            )
+        registry = get_registry()
+        strays = 0
+        t_send = now
+        attempt = 0
+        while True:
+            request = self.send(
+                f"{kind}-request",
+                src,
+                dst,
+                t_send,
+                msg_id=f"{key}#{attempt}:req",
+                payload=payload,
+                enqueue=False,
+            )
+            if request.delivered:
+                verdict = self.send(
+                    f"{kind}-verdict",
+                    dst,
+                    src,
+                    request.deliver_at,
+                    msg_id=f"{key}#{attempt}:ack",
+                    enqueue=False,
+                )
+                if verdict.delivered:
+                    if verdict.deliver_at <= t_send + timeout:
+                        if registry.enabled:
+                            registry.counter(
+                                "channel_rpc_total",
+                                "request/verdict exchanges, by outcome",
+                                labels=("outcome",),
+                            ).inc(outcome="ok")
+                        return RpcOutcome(
+                            ok=True,
+                            attempts=attempt + 1,
+                            completed_at=verdict.deliver_at,
+                            stray_replies=strays,
+                        )
+                    strays += 1
+            attempt += 1
+            next_send = t_send + timeout + backoff.delay(attempt - 1, key=key)
+            if attempt >= max_attempts or next_send >= deadline:
+                gave_up = min(next_send, deadline)
+                if registry.enabled:
+                    registry.counter(
+                        "channel_rpc_total",
+                        "request/verdict exchanges, by outcome",
+                        labels=("outcome",),
+                    ).inc(outcome="failed")
+                return RpcOutcome(
+                    ok=False,
+                    attempts=attempt,
+                    gave_up_at=gave_up,
+                    stray_replies=strays,
+                )
+            t_send = next_send
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, record: WireRecord) -> None:
+        self._pending_seq += 1
+        heapq.heappush(
+            self._pending, (record.deliver_at, self._pending_seq, record)
+        )
+
+    def _account(self, record: WireRecord) -> None:
+        stats = self._stats
+        if record.fate == "duplicated":
+            stats.duplicated += 1
+        else:
+            stats.sent += 1
+        if record.fate == "lost":
+            stats.lost += 1
+        elif record.fate == "severed":
+            stats.severed += 1
+        elif record.delivered:
+            stats.delivered += 1
+            stats.total_delay = (
+                stats.total_delay + record.deliver_at - record.sent_at
+            )
+        stats.by_kind[record.kind] = stats.by_kind.get(record.kind, 0) + 1
+        self._log.append(record)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "channel_messages_total",
+                "wire records by message kind and fate",
+                labels=("kind", "fate"),
+            ).inc(kind=record.kind, fate=record.fate)

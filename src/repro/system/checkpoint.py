@@ -158,6 +158,9 @@ class Journal:
         # poison this run's replay.  Resume keeps the acknowledged prefix.
         self._handle = opener(str(self._path), "wb" if truncate else "ab")
         self._count = _count
+        #: bytes of torn tail discarded when this handle was opened by
+        #: :meth:`for_resume` (0 = the file ended on a record boundary)
+        self.torn_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -261,14 +264,30 @@ class Journal:
         """
         registry = get_registry()
         started = registry.now() if registry.enabled else 0.0
+        torn = 0
         if not Path(path).exists():
             records: List[Dict[str, Any]] = []
         else:
             records, valid_end = cls.scan(path)
             size = Path(path).stat().st_size
             if valid_end < size:
+                # The torn tail is expected after a crash mid-append —
+                # but silently treating it as if it never existed hides
+                # real signal (how often crashes tear, how much data a
+                # tear costs).  Count it; the simulator's resume also
+                # surfaces it as a warning note in the resumed report.
+                torn = size - valid_end
+                registry.counter(
+                    "journal_torn_tail_total",
+                    "journal tails torn by a crash and truncated on resume",
+                ).inc()
+                registry.counter(
+                    "journal_torn_tail_bytes_total",
+                    "bytes of torn journal tail discarded on resume",
+                ).inc(torn)
                 os.truncate(path, valid_end)
         journal = cls(path, fsync=fsync, opener=opener, _count=len(records))
+        journal.torn_bytes = torn
         if registry.enabled:
             registry.histogram(
                 "journal_resume_scan_seconds",

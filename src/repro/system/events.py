@@ -139,6 +139,37 @@ class RecoveryOfferEvent(_Ordered):
     label: str = field(default="", compare=False)
 
 
+@dataclass(frozen=True, order=True)
+class PartitionStartEvent(_Ordered):
+    """The network severs ``links`` at ``time``.
+
+    Messages across a severed link die with fate ``"severed"`` until the
+    matching :class:`PartitionHealEvent`; an enclave on the far side runs
+    in degraded autonomy on its local allotment (see
+    :mod:`repro.faults.netfaults`).  The event mirrors a window the
+    network model already knows statically — putting it on the virtual
+    clock makes the partition journaled, replayable, and visible to the
+    admission policy at the instant it bites.
+    """
+
+    name: str = field(default="", compare=False)
+    #: undirected (endpoint, endpoint) pairs the partition cuts
+    links: tuple = field(default=(), compare=False)
+
+
+@dataclass(frozen=True, order=True)
+class PartitionHealEvent(_Ordered):
+    """The partition named ``name`` heals: ``links`` carry again.
+
+    On heal the policy reconciles the partitioned sides' accounts
+    (expired leases settled, traces merged) — the simulator records
+    whatever reconciliation notes the policy reports.
+    """
+
+    name: str = field(default="", compare=False)
+    links: tuple = field(default=(), compare=False)
+
+
 Event = Union[
     ResourceJoinEvent,
     ComputationArrivalEvent,
@@ -147,6 +178,8 @@ Event = Union[
     NodeCrashEvent,
     RateDegradationEvent,
     RecoveryOfferEvent,
+    PartitionStartEvent,
+    PartitionHealEvent,
 ]
 
 
@@ -185,3 +218,30 @@ def rate_degradation(
             f"degradation factor must lie in [0, 1), got {factor!r}"
         )
     return RateDegradationEvent(time=time, location=location, factor=factor)
+
+
+def _partition_links(links) -> tuple:
+    checked = []
+    for pair in links:
+        src, dst = pair
+        if src == dst:
+            raise FaultInjectionError(
+                f"partition link must join two endpoints, got {pair!r}"
+            )
+        checked.append((str(src), str(dst)))
+    if not checked:
+        raise FaultInjectionError("partition must sever at least one link")
+    return tuple(checked)
+
+
+def partition_start(time: Time, name: str, links) -> PartitionStartEvent:
+    """Convenience constructor validating the severed link pairs."""
+    return PartitionStartEvent(
+        time=time, name=name, links=_partition_links(links)
+    )
+
+
+def partition_heal(time: Time, name: str, links) -> PartitionHealEvent:
+    return PartitionHealEvent(
+        time=time, name=name, links=_partition_links(links)
+    )

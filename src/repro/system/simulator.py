@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import heapq
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -58,6 +58,8 @@ from repro.system.events import (
     ComputationLeaveEvent,
     Event,
     NodeCrashEvent,
+    PartitionHealEvent,
+    PartitionStartEvent,
     RateDegradationEvent,
     RecoveryOfferEvent,
     ResourceJoinEvent,
@@ -121,6 +123,12 @@ class SimulationReport:
     #: live registry was installed (None under the default no-op one).
     #: Pure observation: never journaled, checkpointed, or fingerprinted.
     metrics: Optional[Dict[str, object]] = None
+    #: non-fatal anomalies surfaced by resume (e.g. a torn journal tail
+    #: truncated on recovery).  Pure observation, like ``metrics``: a
+    #: resumed run must stay field-for-field identical to the
+    #: uninterrupted one, so warnings never enter the trace or the
+    #: replay fingerprint.
+    warnings: List[str] = dataclasses_field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -289,6 +297,9 @@ class OpenSystemSimulator:
         self._last_checkpoint_step = -1
         self._snapshotter: Optional[DeltaSnapshotter] = None
         self._mid_run = False
+        # Observational resume anomalies (torn journal tails); reported,
+        # never traced or fingerprinted.
+        self._warnings: List[str] = []
         if initial_resources is not None and not initial_resources.is_empty:
             self._admission.observe_resources(initial_resources, start_time)
 
@@ -340,6 +351,7 @@ class OpenSystemSimulator:
         self._replay_pos = 0
         self._journal_count = 0
         self._last_checkpoint_step = -1
+        self._warnings = []
         # Per-run bound-series caches (observability): id()-keyed, so a
         # fresh run must never inherit bindings from a previous one.
         self._offered_series = None
@@ -441,10 +453,18 @@ class OpenSystemSimulator:
         sim._replay_records = []
         sim._replay_pos = 0
         sim._journal_count = checkpoint.journal_records
+        sim._warnings = []
         if journal_path is not None:
             journal, records = Journal.for_resume(
                 journal_path, fsync=journal_fsync
             )
+            if journal.torn_bytes:
+                sim._warnings.append(
+                    f"journal {journal.path}: torn tail of "
+                    f"{journal.torn_bytes} bytes truncated on resume "
+                    "(crash mid-append; the unacknowledged record is "
+                    "regenerated by deterministic re-execution)"
+                )
             if records:
                 check_journal_header(records[0], journal.path)
             if len(records) < checkpoint.journal_records:
@@ -544,6 +564,14 @@ class OpenSystemSimulator:
         consumed_acc: Dict[int, list] = {}
         expired_acc: Dict[int, list] = {}
 
+        # Channel-aware policies (repro.faults.netfaults) expose poll():
+        # once per slice they deliver due wire messages, send due lease
+        # renewals, and conservatively expire unrenewable leases.  Each
+        # reported incident is a capacity loss measured through the
+        # ordinary fault path, so lease expiry flows into victim
+        # detection and the recovery pipeline exactly like a revocation.
+        poll = getattr(self._admission, "poll", None)
+
         with registry.span("simulator.run"):
             while state.t < horizon:
                 self._state = state
@@ -552,6 +580,16 @@ class OpenSystemSimulator:
 
                 # 1. Instantaneous rules at the current instant.
                 fault_causes: List[str] = []
+                if poll is not None:
+                    with phase("offer"):
+                        for lost, cause, message in poll(state.t):
+                            if message:
+                                trace.note(state.t, message)
+                            if lost is not None and not lost.is_empty:
+                                fault_causes.append(cause)
+                                state = self._apply_loss(
+                                    state, lost, cause, trace
+                                )
                 with phase("offer"):
                     while self._events and self._events[0][0] <= state.t:
                         _, _, event = heapq.heappop(self._events)
@@ -679,6 +717,7 @@ class OpenSystemSimulator:
             trace=trace,
             horizon=horizon,
             metrics=registry.snapshot() if registry.enabled else None,
+            warnings=list(self._warnings),
         )
 
     # ------------------------------------------------------------------
@@ -998,6 +1037,29 @@ class OpenSystemSimulator:
                 return state  # victim already settled; stale offer
             return self._offer_recovery(state, record, trace, reason="backoff")
 
+        if isinstance(event, (PartitionStartEvent, PartitionHealEvent)):
+            # The network model already knows the window statically (so
+            # in-flight fates stay closed-form); the event's job is to
+            # journal the boundary and let the policy react at the exact
+            # instant — entering degraded autonomy on start, reconciling
+            # the partitioned sides' accounts on heal.  Any messages the
+            # policy reports (e.g. per-lease settlement lines) become
+            # trace notes, so reconciliation is auditable and replayable.
+            healed = isinstance(event, PartitionHealEvent)
+            trace.note(
+                state.t,
+                f"partition {event.name!r} "
+                + ("heals" if healed else "starts")
+                + f": {len(event.links)} links",
+            )
+            hook = getattr(self._admission, "on_partition", None)
+            if hook is not None:
+                for message in hook(
+                    event.name, event.links, state.t, healed=healed
+                ) or ():
+                    trace.note(state.t, message)
+            return state
+
         if isinstance(event, ComputationLeaveEvent):
             try:
                 state = leave(state, event.label)
@@ -1241,6 +1303,9 @@ def _event_journal_entry(event: Event) -> dict:
     location = getattr(event, "location", None)
     if location is not None:
         entry["location"] = location.name
+    name = getattr(event, "name", None)
+    if name:
+        entry["name"] = name
     return entry
 
 

@@ -33,7 +33,12 @@ from repro.resources.located_type import LocatedType
 #: is open, see :mod:`repro.service`) — never acquired, so never part of
 #: any promise, but still offered and therefore still owed a leg in the
 #: conservation identity: ``offered = consumed + expired + lost + shed``.
-LOSS_CAUSES = ("revocation", "crash", "degradation", "shed")
+#: ``"lease-expired"`` is *conservative renunciation*: leased capacity an
+#: enclave stops trusting because renewals could not cross a network
+#: partition (see :mod:`repro.faults.netfaults`) — the enclave evicts
+#: whatever relied on it and the identity gains its final leg:
+#: ``offered = consumed + expired + lost + shed + lease-expired``.
+LOSS_CAUSES = ("revocation", "crash", "degradation", "shed", "lease-expired")
 
 
 def _check_cause(cause: str) -> None:
@@ -183,6 +188,10 @@ class SimulationTrace:
         """Capacity deliberately refused at the admission front door."""
         return self.lost_totals("shed")
 
+    def lease_expired_totals(self) -> Dict[LocatedType, Time]:
+        """Leased capacity conservatively renounced at lease expiry."""
+        return self.lost_totals("lease-expired")
+
     def consumption_by_actor(self) -> Dict[str, Dict[LocatedType, Time]]:
         """Who consumed what, over the whole trace."""
         totals: Dict[str, Dict[LocatedType, Time]] = {}
@@ -239,7 +248,12 @@ class SimulationTrace:
                     # deliberate front-door refusals ride in the loss
                     # records; name the leg so the message matches the
                     # extended identity offered = c + e + lost + shed
-                    legs = "consumed+expired+lost+shed"
+                    legs += "+shed"
+                if self.lost_totals("lease-expired"):
+                    # conservative lease renunciations ride there too;
+                    # the full identity reads
+                    # offered = c + e + lost + shed + lease-expired
+                    legs += "+lease-expired"
                 gaps.append(
                     f"conservation: {ltype} offered {total} but "
                     f"accounted ({legs}"

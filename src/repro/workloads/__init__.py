@@ -15,6 +15,7 @@ from repro.workloads.overload import (
     flash_crowd_scenario,
     stalled_enclave_stream,
 )
+from repro.workloads.partition import mesh_names, partitioned_mesh_stream
 from repro.workloads.persistence import (
     event_from_wire,
     event_to_wire,
@@ -49,6 +50,8 @@ __all__ = [
     "flash_crowd_requests",
     "flash_crowd_requirements",
     "flash_crowd_scenario",
+    "mesh_names",
+    "partitioned_mesh_stream",
     "pipeline_scenario",
     "stalled_enclave_stream",
     "volunteer_scenario",

@@ -37,9 +37,13 @@ from repro.system.events import (
     ComputationLeaveEvent,
     Event,
     NodeCrashEvent,
+    PartitionHealEvent,
+    PartitionStartEvent,
     RateDegradationEvent,
     ResourceJoinEvent,
     ResourceRevocationEvent,
+    partition_heal,
+    partition_start,
     rate_degradation,
 )
 
@@ -56,6 +60,8 @@ _REQUIRED_KEYS = {
     "computation_leave": ("time", "label"),
     "node_crash": ("time", "location"),
     "rate_degradation": ("time", "location", "factor"),
+    "partition_start": ("time", "name", "links"),
+    "partition_heal": ("time", "name", "links"),
 }
 
 
@@ -98,6 +104,17 @@ def event_to_wire(event: Event) -> dict:
             "time": time_to_wire(event.time),
             "location": event.location.name,
             "factor": time_to_wire(event.factor),
+        }
+    elif isinstance(event, (PartitionStartEvent, PartitionHealEvent)):
+        data = {
+            "event": (
+                "partition_start"
+                if isinstance(event, PartitionStartEvent)
+                else "partition_heal"
+            ),
+            "time": time_to_wire(event.time),
+            "name": event.name,
+            "links": [list(pair) for pair in event.links],
         }
     else:
         raise SerializationError(f"unsupported event {event!r}")
@@ -146,6 +163,17 @@ def event_from_wire(data: dict) -> Event:
         return ComputationLeaveEvent(time=time, label=data["label"])
     if kind == "node_crash":
         return NodeCrashEvent(time=time, location=Node(data["location"]))
+    if kind in ("partition_start", "partition_heal"):
+        links = data["links"]
+        if not isinstance(links, list) or any(
+            not isinstance(pair, list) or len(pair) != 2 for pair in links
+        ):
+            raise SerializationError(
+                f"{kind}: links must be a list of [src, dst] pairs, "
+                f"got {links!r}"
+            )
+        make = partition_start if kind == "partition_start" else partition_heal
+        return make(time, data["name"], [tuple(pair) for pair in links])
     return rate_degradation(
         time, data["location"], time_from_wire(data["factor"])
     )

@@ -373,3 +373,39 @@ class TestResume:
         fresh, _ = Journal.scan(tmp_path / "journal.jsonl")
         assert fresh and fresh[0]["type"] == "journal_header"
         assert len(fresh) == resumed._journal_count
+
+    def test_torn_journal_tail_surfaces_a_resume_warning(self, tmp_path):
+        """A crash mid-append leaves torn bytes on the journal tail.
+        Resume truncates and continues (that contract is pinned above on
+        the Journal directly); here the *report* surfaces the anomaly:
+        a warning names the journal and the byte count, while the
+        fingerprint stays identical to the uninterrupted run — warnings
+        are observational, never semantic."""
+        scenario = chaos_scenario()
+        plain = make_simulator(scenario)
+        plain.schedule(*scenario.events)
+        truth_report = plain.run(scenario.horizon)
+        assert truth_report.warnings == []
+        truth = report_fingerprint(truth_report)
+
+        simulator = make_simulator(scenario)
+        simulator.schedule(*scenario.events)
+        simulator.run(
+            scenario.horizon,
+            checkpoint_every=10,
+            checkpoint_dir=tmp_path,
+            journal=tmp_path / "journal.jsonl",
+        )
+        with open(tmp_path / "journal.jsonl", "ab") as handle:
+            handle.write(b'{"crc": 99, "data": {"torn')  # death mid-append
+        first = sorted(tmp_path.glob("ckpt-*.json"))[0]
+        resumed = OpenSystemSimulator.resume(
+            first, tmp_path / "journal.jsonl", checkpoint_dir=tmp_path
+        )
+        report = resumed.resume_run()
+        assert len(report.warnings) == 1
+        assert "torn tail" in report.warnings[0]
+        assert "journal.jsonl" in report.warnings[0]
+        assert "26 bytes" in report.warnings[0]  # len of the torn write
+        fingerprint = report_fingerprint(report)
+        assert fingerprint == truth, diff_fingerprints(truth, fingerprint)

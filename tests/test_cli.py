@@ -365,3 +365,110 @@ class TestMetricsFlags:
         )
         assert good.returncode == 0
         assert out.exists() and out.stat().st_size > 0
+
+
+class TestMeshNetworkFlags:
+    def test_mesh_scenario_prints_the_network_digest(self, capsys):
+        assert main([
+            "scenario", "mesh", "--seed", "1",
+            "--partition-plan", "18:10", "--link-delay", "1",
+            "--link-loss", "0.1", "--lease-ttl", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=mesh" in out
+        assert "partition=[18, 28)" in out
+        assert "unreliable network:" in out
+        assert "leases: granted=" in out
+        assert "promises: violations=" in out
+
+    def test_mesh_scenario_runs_on_defaults(self, capsys):
+        assert main(["scenario", "mesh"]) == 0
+        assert "unreliable network:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("argv, fragment", [
+        # network flags belong to the mesh scenario only
+        (["scenario", "pipeline", "--link-delay", "1"], "scenario mesh"),
+        # the mesh is its own closed world: no second admission path,
+        # no second fault model, no other decision policy
+        (["scenario", "mesh", "--front-door"], "second admission path"),
+        (["scenario", "mesh", "--policy", "aggregate"], "ROTA-exact"),
+        (["scenario", "mesh", "--crash-rate", "0.1"], "the network itself"),
+        # plan-level validation surfaces as the same exit-2 contract
+        (["scenario", "mesh", "--lease-ttl", "1"], "renew_every"),
+        (["scenario", "mesh", "--partition-plan", "99:10"], "horizon"),
+    ])
+    def test_flag_interactions_exit_2(self, argv, fragment, capsys):
+        assert main(argv) == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_mesh_checkpointing_rejected(self, tmp_path, capsys):
+        assert main([
+            "scenario", "mesh", "--checkpoint-dir", str(tmp_path),
+        ]) == 2
+        assert "not yet journaled" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["18", "a:b", "-1:5"])
+    def test_malformed_partition_window_rejected(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "mesh", "--partition-plan", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "START" in err and "DURATION" in err
+
+    def test_replay_tuning_without_partition_plan_rejected(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "replay", str(tmp_path / "t.jsonl"), "--horizon", "10",
+            "--link-loss", "0.2",
+        ]) == 2
+        assert "--partition-plan" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("extra, fragment", [
+        (["--front-door"], "second admission path"),
+        (["--policy", "aggregate"], "ROTA-exact"),
+    ])
+    def test_replay_networked_flag_interactions_exit_2(
+        self, tmp_path, extra, fragment, capsys
+    ):
+        assert main([
+            "replay", str(tmp_path / "t.jsonl"), "--horizon", "10",
+            "--partition-plan", "18:10", *extra,
+        ]) == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_replay_partition_plan_reproduces_the_mesh_run(
+        self, tmp_path, capsys
+    ):
+        """A saved mesh trace replayed with the original network seed
+        walks the same wire fates: the network digests agree line for
+        line with the scenario run."""
+        from repro.faults import PartitionPlan, mesh_events
+        from repro.workloads import save_events
+
+        plan = PartitionPlan(seed=1, link_loss=0.1, link_delay=1)
+        resources, events = mesh_events(plan)
+        trace = tmp_path / "mesh.jsonl"
+        save_events(events, trace)
+        res_path = tmp_path / "resources.json"
+        res_path.write_text(json.dumps(resource_set_to_wire(resources)))
+
+        assert main([
+            "scenario", "mesh", "--seed", "1",
+            "--link-loss", "0.1", "--link-delay", "1",
+        ]) == 0
+        scenario_out = capsys.readouterr().out
+
+        assert main([
+            "replay", str(trace), "--horizon", "48",
+            "--resources", str(res_path),
+            "--partition-plan", "18:10", "--link-loss", "0.1",
+            "--link-delay", "1", "--network-seed", "1",
+        ]) == 0
+        replay_out = capsys.readouterr().out
+        assert "unreliable network:" in replay_out
+
+        def digest(text):
+            return text.split("unreliable network:\n", 1)[1]
+
+        assert digest(replay_out) == digest(scenario_out)
