@@ -231,6 +231,13 @@ def _add_network_flags(parser: argparse.ArgumentParser) -> None:
         "(default: 0; requires the mesh)",
     )
     net.add_argument(
+        "--link-jitter", type=_nonnegative_int, default=None,
+        metavar="TICKS",
+        help="extra per-message delay drawn uniformly from {0..TICKS} "
+        "on every mesh link; reordering is emergent (default: 0; "
+        "requires the mesh)",
+    )
+    net.add_argument(
         "--lease-ttl", type=_positive_int, default=None, metavar="TICKS",
         help="time-to-live of leased capacity grants; unrenewable leases "
         "expire conservatively under partition (default: 6; requires "
@@ -340,16 +347,7 @@ def _check_network_flags(args: argparse.Namespace) -> str | None:
     enclaves over the channel), its own fault model (the network), its
     own recovery pipeline — so flags that would compose a second fault
     model or a second admission layer on top of it are refused."""
-    tuned = [
-        flag
-        for flag, value in (
-            ("--link-delay", args.link_delay),
-            ("--link-loss", args.link_loss),
-            ("--lease-ttl", args.lease_ttl),
-            ("--network-seed", args.network_seed),
-        )
-        if value is not None
-    ]
+    tuned = _network_tuning(args)
     networked = bool(tuned) or args.partition_plan is not None
     is_mesh = getattr(args, "name", None) == "mesh"
     if is_mesh:
@@ -374,10 +372,10 @@ def _check_network_flags(args: argparse.Namespace) -> str | None:
                     "scenario's fault model is the network itself "
                     "(--partition-plan/--link-loss) — drop one of the two"
                 )
-        if args.checkpoint_dir is not None or args.resume:
+        if args.resume and (tuned or args.partition_plan is not None):
             return (
-                "checkpointing the mesh scenario is not supported: the "
-                "channel's in-flight messages are not yet journaled"
+                "--resume restores the recorded mesh plan from the "
+                "checkpoint; network flags shape fresh runs only"
             )
         return None
     if networked and hasattr(args, "name"):
@@ -387,14 +385,8 @@ def _check_network_flags(args: argparse.Namespace) -> str | None:
             "the unreliable-network mesh; run `scenario mesh`, or drop "
             f"{'the flag' if len(offending) == 1 else 'the flags'}"
         )
-    # replay: the mesh engages via --partition-plan (0-duration = benign)
-    if tuned and args.partition_plan is None:
-        return (
-            f"{'/'.join(tuned)} tune{'s' if len(tuned) == 1 else ''} the "
-            "unreliable-network mesh; pass --partition-plan START:DURATION "
-            "(0 duration for a benign network) or drop "
-            f"{'the flag' if len(tuned) == 1 else 'the flags'}"
-        )
+    # replay: any network flag engages the mesh — link flags alone get a
+    # zero-duration (benign-window) plan synthesized for them.
     if networked and args.front_door:
         return (
             "--front-door layers a second admission path over the "
@@ -408,12 +400,35 @@ def _check_network_flags(args: argparse.Namespace) -> str | None:
     return None
 
 
-def _mesh_plan(args: argparse.Namespace, *, horizon: int | None = None):
+def _network_tuning(args: argparse.Namespace) -> list[str]:
+    """The network-shaping flags the user actually passed."""
+    return [
+        flag
+        for flag, value in (
+            ("--link-delay", args.link_delay),
+            ("--link-jitter", args.link_jitter),
+            ("--link-loss", args.link_loss),
+            ("--lease-ttl", args.lease_ttl),
+            ("--network-seed", args.network_seed),
+        )
+        if value is not None
+    ]
+
+
+def _mesh_plan(
+    args: argparse.Namespace,
+    *,
+    horizon: int | None = None,
+    default_benign: bool = False,
+):
     """Build the :class:`PartitionPlan` the network flags describe.
 
-    Raises :class:`~repro.errors.FaultInjectionError` on bad values
-    (e.g. a partition starting past the horizon, or a TTL too short to
-    fit a renewal inside)."""
+    ``default_benign`` (the replay path) disables the plan's default
+    partition window when no ``--partition-plan`` was given, so link
+    flags alone describe a lossy-but-unpartitioned wire.  Raises
+    :class:`~repro.errors.FaultInjectionError` on bad values (e.g. a
+    partition starting past the horizon, or a TTL too short to fit a
+    renewal inside)."""
     from repro.faults import PartitionPlan
 
     seed = args.network_seed
@@ -426,8 +441,12 @@ def _mesh_plan(args: argparse.Namespace, *, horizon: int | None = None):
         start, duration = args.partition_plan
         kwargs["partition_start"] = start
         kwargs["partition_duration"] = duration
+    elif default_benign:
+        kwargs["partition_duration"] = 0
     if args.link_delay is not None:
         kwargs["link_delay"] = args.link_delay
+    if args.link_jitter is not None:
+        kwargs["link_jitter"] = args.link_jitter
     if args.link_loss is not None:
         kwargs["link_loss"] = args.link_loss
     if args.lease_ttl is not None:
@@ -533,7 +552,9 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         ServiceConfigError,
     )
 
-    if args.resume and args.policy == "all":
+    if args.resume and args.policy == "all" and args.name != "mesh":
+        # The mesh has exactly one admission path, so --policy stays at
+        # its "all" default there and is unambiguous.
         print(
             "error: --resume restores one interrupted run; pick the policy "
             "explicitly with --policy",
@@ -656,16 +677,48 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 def _cmd_scenario_mesh(args: argparse.Namespace) -> int:
     """The mesh scenario: enclaves admitting over an unreliable network."""
-    from repro.errors import FaultInjectionError
-    from repro.faults import run_mesh
+    from pathlib import Path
 
-    try:
-        plan = _mesh_plan(args)
-    except FaultInjectionError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    with _metrics_session(args):
-        report, policy = run_mesh(plan)
+    from repro.errors import CheckpointError, FaultInjectionError
+    from repro.faults import MeshPolicy, resume_mesh, run_mesh
+
+    if args.resume:
+        mesh_dir = Path(args.checkpoint_dir) / MeshPolicy.name
+        try:
+            with _metrics_session(args):
+                report, policy = resume_mesh(mesh_dir)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        # The plan travels inside the checkpoint with the policy; the
+        # resumed report is titled from what was actually recorded.
+        plan = policy.plan
+    else:
+        try:
+            plan = _mesh_plan(args)
+        except FaultInjectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        durable: dict = {}
+        if args.checkpoint_dir is not None:
+            mesh_dir = Path(args.checkpoint_dir) / MeshPolicy.name
+            mesh_dir.mkdir(parents=True, exist_ok=True)
+            # Same fresh-run discipline as the per-policy scenarios:
+            # higher-step checkpoints from an earlier run would shadow
+            # this run's snapshots on a later --resume.
+            for stale in mesh_dir.glob("ckpt-*.json"):
+                stale.unlink()
+            durable = {
+                "checkpoint_every": args.checkpoint_every,
+                "checkpoint_dir": mesh_dir,
+                "journal": mesh_dir / "journal.jsonl",
+            }
+        try:
+            with _metrics_session(args):
+                report, policy = run_mesh(plan, **durable)
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     window = (
         f"[{plan.partition_start}, {plan.partition_end})"
         if plan.partition_duration
@@ -816,12 +869,19 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"error: malformed input: {exc}", file=sys.stderr)
         return 2
     recovery = None
-    if args.partition_plan is not None:
+    networked = (
+        args.partition_plan is not None or bool(_network_tuning(args))
+    )
+    if networked:
         from repro.errors import FaultInjectionError
         from repro.faults import MeshPolicy, RecoveryPolicy
 
         try:
-            plan = _mesh_plan(args, horizon=max(1, int(args.horizon)))
+            # Link flags alone mean a lossy wire with no partition
+            # window — synthesize a zero-duration plan for them.
+            plan = _mesh_plan(
+                args, horizon=max(1, int(args.horizon)), default_benign=True
+            )
         except FaultInjectionError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -853,7 +913,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if service_config is not None:
         print("front door (shed/breaker/brownout):")
         print(_door_summary_line(policy, args.horizon))
-    if args.partition_plan is not None:
+    if networked:
         print("unreliable network:")
         print("\n".join(_mesh_lines(report, policy)))
     return 0

@@ -23,8 +23,8 @@ inside pickled policies and replayed runs must walk them identically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import LeaseError
 from repro.intervals.interval import Time
@@ -167,3 +167,17 @@ class LeaseTable:
             if label in lease.dependents:
                 return lease
         return None
+
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Tuple[Lease, ...]:
+        """Grant-ordered copies of every lease, isolated from future
+        renewals/expiries — the checkpoint's view of the grant and
+        renewal clocks (``expires_at``, ``next_renew_at``,
+        ``expired_at``) at one instant."""
+        return tuple(replace(lease) for lease in self._leases.values())
+
+    def restore_state(self, leases: Iterable[Lease]) -> None:
+        """Reinstate a :meth:`state_snapshot`, preserving grant order."""
+        self._leases = {
+            lease.lease_id: replace(lease) for lease in leases
+        }

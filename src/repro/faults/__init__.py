@@ -34,10 +34,15 @@ from repro.faults.netfaults import (
     MeshPolicy,
     NetfaultPoint,
     NetfaultResult,
+    PartitionCrashPoint,
+    PartitionCrashResult,
     PartitionPlan,
     admitted_promise_violations,
+    chaos_partition_crash_matrix,
     chaos_partition_matrix,
     mesh_events,
+    network_digest,
+    resume_mesh,
     run_mesh,
 )
 from repro.faults.overload import (
@@ -60,6 +65,8 @@ __all__ = [
     "NetfaultPoint",
     "NetfaultResult",
     "OverloadPlan",
+    "PartitionCrashPoint",
+    "PartitionCrashResult",
     "OverloadPoint",
     "OverloadResult",
     "PartitionPlan",
@@ -67,12 +74,15 @@ __all__ = [
     "admitted_promise_violations",
     "chaos_crash_matrix",
     "chaos_overload_matrix",
+    "chaos_partition_crash_matrix",
     "chaos_partition_matrix",
     "crashing_opener",
     "diff_fingerprints",
     "faulty_scenario",
     "find_victims",
     "mesh_events",
+    "network_digest",
+    "resume_mesh",
     "run_mesh",
     "report_fingerprint",
     "residual_requirement",

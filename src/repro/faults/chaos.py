@@ -22,6 +22,13 @@ an exhaustive experiment:
 Conservation (``offered = consumed + expired + lost``) is re-verified at
 the resume instant by :meth:`OpenSystemSimulator.resume` itself; the
 matrix additionally asserts it on every final report.
+
+The networked sibling of this matrix lives in
+:func:`repro.faults.netfaults.chaos_partition_crash_matrix`: it reuses
+:class:`SimulatedCrash` / :func:`crashing_opener` to kill *mesh* runs at
+every journal-record boundary — including mid-partition and mid-RPC
+backoff — and additionally demands the resumed run's wire state
+(:func:`repro.faults.netfaults.network_digest`) be byte-identical.
 """
 
 from __future__ import annotations

@@ -43,8 +43,11 @@ so an unreliable network is still a deterministic one).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.backoff import Backoff
 from repro.baselines.base import AdmissionPolicy, PolicyDecision
@@ -52,18 +55,26 @@ from repro.computation.requirements import ConcurrentRequirement
 from repro.decision.admission import clip_start
 from repro.encapsulation.enclave import Enclave
 from repro.encapsulation.lease import Lease, LeaseTable
-from repro.errors import ChannelError, FaultInjectionError
-from repro.faults.chaos import diff_fingerprints, report_fingerprint
+from repro.errors import ChannelError, CheckpointError, FaultInjectionError
+from repro.faults.chaos import (
+    SimulatedCrash,
+    crashing_opener,
+    diff_fingerprints,
+    report_fingerprint,
+)
 from repro.faults.recovery import RecoveryPolicy
 from repro.intervals.interval import Interval, Time
 from repro.resources.located_type import Node
 from repro.resources.resource_set import ResourceSet
+from repro.serialization import time_from_wire, time_to_wire
 from repro.system.channel import (
     LinkConfig,
     MessageChannel,
     NetworkModel,
     PartitionSpan,
+    RpcOutcome,
 )
+from repro.system.checkpoint import CheckpointStore, Journal
 from repro.system.events import (
     Event,
     arrival,
@@ -275,6 +286,9 @@ class MeshPolicy(AdmissionPolicy):
         #: renounced quantity per lease id, measured at expiry
         self._renounced: Dict[str, Time] = {}
         self._rpc_seq = 0
+        #: wire WAL entries accumulated this slice; the simulator drains
+        #: them into the journal via :meth:`drain_wire_records`
+        self._wire_wal: List[Dict[str, object]] = []
         # Observational tallies (reported by benchmarks, never traced).
         self.network_delay_charged: Time = 0
         self.rpc_failures = 0
@@ -284,6 +298,10 @@ class MeshPolicy(AdmissionPolicy):
         self.migrations = 0
 
     # ------------------------------------------------------------------
+    @property
+    def plan(self) -> PartitionPlan:
+        return self._plan
+
     @property
     def channel(self) -> MessageChannel:
         return self._channel
@@ -298,6 +316,109 @@ class MeshPolicy(AdmissionPolicy):
 
     def placement_of(self, label: str) -> Optional[str]:
         return self._placements.get(label)
+
+    # ------------------------------------------------------------------
+    # Durability: the wire is derivable state
+    # ------------------------------------------------------------------
+    #: Attributes excluded from the policy's own pickle: the checkpoint
+    #: carries them in its dedicated ``network`` section instead (see
+    #: :meth:`network_snapshot`), the single authority on wire state.
+    _WIRE_STATE = (
+        "_channel",
+        "_leases",
+        "_applied",
+        "_unreconciled",
+        "_renounced",
+        "_wire_wal",
+    )
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        for name in self._WIRE_STATE:
+            state.pop(name, None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        # A bare unpickle yields a structurally valid policy with an
+        # *empty* wire; resume() immediately follows up with
+        # restore_network() from the checkpoint's network section.
+        self.__dict__.update(state)
+        self._channel = MessageChannel(self._network, name="mesh")
+        self._leases = LeaseTable()
+        self._applied = {}
+        self._unreconciled = []
+        self._renounced = {}
+        self._wire_wal = []
+
+    def network_snapshot(self) -> Dict[str, object]:
+        """The policy's entire wire state as one checkpoint section.
+
+        Fates are stateless draws over ``(seed, link, msg_id)``, so this
+        — the in-flight queue and its send-order counter, the channel
+        stats/log, the lease table's grant/renewal clocks, the
+        applied-message dedup map, and the RPC attempt counter — is all
+        a resume needs to rebuild a byte-identical channel without
+        replaying a single draw."""
+        return {
+            "channel": self._channel.state_snapshot(),
+            "leases": self._leases.state_snapshot(),
+            "applied": dict(self._applied),
+            "unreconciled": [
+                (lease.lease_id, at) for lease, at in self._unreconciled
+            ],
+            "renounced": dict(self._renounced),
+            "rpc_seq": self._rpc_seq,
+            "tallies": {
+                "network_delay_charged": self.network_delay_charged,
+                "rpc_failures": self.rpc_failures,
+                "stray_verdicts": self.stray_verdicts,
+                "late_acks": self.late_acks,
+                "joins_shed": self.joins_shed,
+                "migrations": self.migrations,
+            },
+        }
+
+    def restore_network(self, snapshot: Dict[str, object]) -> None:
+        """Reinstate a :meth:`network_snapshot` (the dedup map included,
+        so a resumed run neither double-applies a retransmitted message
+        nor double-renounces an already-expired lease)."""
+        self._channel.restore_state(snapshot["channel"])
+        self._leases.restore_state(snapshot["leases"])
+        self._applied = dict(snapshot["applied"])
+        self._unreconciled = [
+            (self._leases.get(lease_id), at)
+            for lease_id, at in snapshot["unreconciled"]
+        ]
+        self._renounced = dict(snapshot["renounced"])
+        self._rpc_seq = snapshot["rpc_seq"]
+        for name, value in snapshot["tallies"].items():
+            setattr(self, name, value)
+        self._wire_wal = []
+
+    def drain_wire_records(self) -> List[Dict[str, object]]:
+        """Hand the slice's wire WAL entries to the simulator's journal
+        (lease grants/renewals/expiries, RPC verdicts, duplicate drops —
+        each re-verified, never re-decided, on replay)."""
+        drained, self._wire_wal = self._wire_wal, []
+        return drained
+
+    def _wal_rpc(
+        self, op: str, key: str, outcome: RpcOutcome, now: Time
+    ) -> None:
+        end = outcome.completed_at if outcome.ok else outcome.gave_up_at
+        self._wire_wal.append(
+            {
+                "type": "wire",
+                "kind": "rpc",
+                "op": op,
+                "key": key,
+                "ok": bool(outcome.ok),
+                "attempts": outcome.attempts,
+                "strays": outcome.stray_replies,
+                "time": time_to_wire(now),
+                "end": time_to_wire(end),
+            }
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -420,18 +541,20 @@ class MeshPolicy(AdmissionPolicy):
             # Cross-enclave admission: request/verdict over the wire,
             # elapsed network time charged against the deadline.
             self._rpc_seq += 1
+            rpc_key = f"{label}:a{self._rpc_seq}"
             outcome = self._channel.rpc(
                 "admit",
                 self._door,
                 target,
                 now,
-                key=f"{label}:a{self._rpc_seq}",
+                key=rpc_key,
                 deadline=requirement.deadline,
                 timeout=self._plan.rpc_timeout,
                 backoff=self._backoff,
                 max_attempts=self._plan.rpc_attempts,
             )
             self.stray_verdicts += outcome.stray_replies
+            self._wal_rpc("admit", rpc_key, outcome, now)
             if not outcome.ok:
                 self.rpc_failures += 1
                 return PolicyDecision(
@@ -493,18 +616,20 @@ class MeshPolicy(AdmissionPolicy):
             if node == placed:
                 continue
             self._rpc_seq += 1
+            rpc_key = f"{label}:m{self._rpc_seq}"
             outcome = self._channel.rpc(
                 "migrate",
                 placed,
                 node,
                 now,
-                key=f"{label}:m{self._rpc_seq}",
+                key=rpc_key,
                 deadline=requirement.deadline,
                 timeout=self._plan.rpc_timeout,
                 backoff=self._backoff,
                 max_attempts=1,
             )
             self.stray_verdicts += outcome.stray_replies
+            self._wal_rpc("migrate", rpc_key, outcome, now)
             if not outcome.ok:
                 self.rpc_failures += 1
                 continue
@@ -587,6 +712,14 @@ class MeshPolicy(AdmissionPolicy):
         plan = self._plan
         for record in self._channel.deliver_due(now):
             if self._applied.get(record.msg_id):
+                self._wire_wal.append(
+                    {
+                        "type": "wire",
+                        "kind": "dup-drop",
+                        "id": record.msg_id,
+                        "time": time_to_wire(now),
+                    }
+                )
                 yield (
                     None,
                     "",
@@ -611,6 +744,16 @@ class MeshPolicy(AdmissionPolicy):
                         renew_every=plan.renew_every,
                     )
                 )
+                self._wire_wal.append(
+                    {
+                        "type": "wire",
+                        "kind": "lease-grant",
+                        "id": lease.lease_id,
+                        "holder": node,
+                        "time": time_to_wire(now),
+                        "expires": time_to_wire(lease.expires_at),
+                    }
+                )
                 yield (
                     None,
                     "",
@@ -631,6 +774,15 @@ class MeshPolicy(AdmissionPolicy):
                 lease = self._leases.get(record.payload)
                 if lease.expired:
                     self.late_acks += 1
+                    self._wire_wal.append(
+                        {
+                            "type": "wire",
+                            "kind": "lease-ack",
+                            "id": lease.lease_id,
+                            "time": time_to_wire(now),
+                            "late": True,
+                        }
+                    )
                     yield (
                         None,
                         "",
@@ -639,6 +791,16 @@ class MeshPolicy(AdmissionPolicy):
                     )
                 else:
                     lease.renew(now)
+                    self._wire_wal.append(
+                        {
+                            "type": "wire",
+                            "kind": "lease-ack",
+                            "id": lease.lease_id,
+                            "time": time_to_wire(now),
+                            "late": False,
+                            "expires": time_to_wire(lease.expires_at),
+                        }
+                    )
         for lease in self._leases.due_renewals(now):
             lease.mark_renewal_sent(now)
             sent = self._channel.send(
@@ -651,6 +813,15 @@ class MeshPolicy(AdmissionPolicy):
             )
             if not sent.delivered:
                 lease.failed_renewals += 1
+            self._wire_wal.append(
+                {
+                    "type": "wire",
+                    "kind": "lease-renew",
+                    "id": lease.lease_id,
+                    "time": time_to_wire(now),
+                    "delivered": sent.delivered,
+                }
+            )
         for lease in self._leases.expire_due(now):
             remaining = lease.remaining(now)
             quantity: Time = 0
@@ -659,6 +830,16 @@ class MeshPolicy(AdmissionPolicy):
                 quantity = quantity + remaining.quantity(ltype, measure)
             self._renounced[lease.lease_id] = quantity
             self._unreconciled.append((lease, now))
+            self._wire_wal.append(
+                {
+                    "type": "wire",
+                    "kind": "lease-expired",
+                    "id": lease.lease_id,
+                    "time": time_to_wire(now),
+                    "renounced": time_to_wire(quantity),
+                    "failed_renewals": lease.failed_renewals,
+                }
+            )
             yield (
                 None if remaining.is_empty else remaining,
                 "lease-expired",
@@ -741,9 +922,17 @@ def run_mesh(
     *,
     invariant_interval: int = 1,
     recovery: Optional[RecoveryPolicy] = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Union[str, Path, CheckpointStore, None] = None,
+    journal: Union[str, Path, Journal, None] = None,
 ) -> Tuple[SimulationReport, MeshPolicy]:
     """One full mesh run under the plan's network, with recovery on and
-    (by default) the extended conservation identity asserted per slice."""
+    (by default) the extended conservation identity asserted per slice.
+
+    Durability is opt-in exactly as for any other policy: ``journal``
+    write-ahead-logs events, decisions, *and* wire outcomes;
+    ``checkpoint_dir`` snapshots the simulator plus the policy's network
+    section, so a killed mesh run resumes via :func:`resume_mesh`."""
     resources, events = mesh_events(plan)
     policy = MeshPolicy(plan)
     simulator = OpenSystemSimulator(
@@ -753,7 +942,106 @@ def run_mesh(
         invariant_interval=invariant_interval,
     )
     simulator.schedule(*events)
-    return simulator.run(plan.horizon), policy
+    report = simulator.run(
+        plan.horizon,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        journal=journal,
+    )
+    return report, policy
+
+
+def resume_mesh(
+    checkpoint_dir: Union[str, Path],
+) -> Tuple[SimulationReport, MeshPolicy]:
+    """Resume an interrupted mesh run from its durable artifacts.
+
+    Picks the newest usable checkpoint under ``checkpoint_dir`` (delta
+    chains validated), replays the journal suffix with every regenerated
+    record — wire WAL entries included — verified against the crashed
+    run's, and finishes the run.  Returns the full report plus the
+    restored policy, whose channel log, lease table, and stats are
+    byte-identical to an uninterrupted run's."""
+    directory = Path(checkpoint_dir)
+    store = CheckpointStore(directory)
+    latest = store.latest()
+    if latest is None:
+        raise CheckpointError(
+            f"no usable checkpoint under {directory}: nothing to resume"
+        )
+    journal_path = directory / "journal.jsonl"
+    simulator = OpenSystemSimulator.resume(
+        latest,
+        journal_path if journal_path.exists() else None,
+        checkpoint_dir=store,
+    )
+    report = simulator.resume_run()
+    policy = simulator.admission_policy
+    if not isinstance(policy, MeshPolicy):
+        raise CheckpointError(
+            f"checkpoint under {directory} restored policy "
+            f"{policy.name!r}, not the mesh"
+        )
+    return report, policy
+
+
+def network_digest(policy: MeshPolicy) -> str:
+    """A canonical SHA-256 over the policy's entire wire state.
+
+    Covers the channel log (message identities, fates, and timing — the
+    full history of every draw's outcome), the in-flight queue, the
+    aggregate stats, the lease table's clocks, the applied-message dedup
+    map, and the RPC attempt counter.  Two runs with equal digests took
+    byte-identical wires; the crash matrix demands resumed == fresh."""
+    snapshot = policy.network_snapshot()
+    channel = snapshot["channel"]
+
+    def wire(value) -> Optional[str]:
+        return None if value is None else str(time_to_wire(value))
+
+    payload = {
+        "log": [
+            [r.msg_id, r.kind, r.src, r.dst, wire(r.sent_at), r.fate,
+             wire(r.deliver_at)]
+            for r in channel["log"]
+        ],
+        "pending": sorted(
+            [wire(at), seq, record.msg_id]
+            for at, seq, record in channel["pending"]
+        ),
+        "pending_seq": channel["pending_seq"],
+        "stats": {
+            "sent": channel["stats"].sent,
+            "delivered": channel["stats"].delivered,
+            "lost": channel["stats"].lost,
+            "severed": channel["stats"].severed,
+            "duplicated": channel["stats"].duplicated,
+            "total_delay": wire(channel["stats"].total_delay),
+            "by_kind": sorted(channel["stats"].by_kind.items()),
+        },
+        "leases": [
+            [l.lease_id, l.grantor, l.holder, wire(l.granted_at),
+             wire(l.expires_at), wire(l.next_renew_at), l.renewals,
+             l.failed_renewals, list(l.dependents), wire(l.expired_at)]
+            for l in snapshot["leases"]
+        ],
+        "applied": sorted(snapshot["applied"]),
+        "unreconciled": [
+            [lease_id, wire(at)]
+            for lease_id, at in snapshot["unreconciled"]
+        ],
+        "renounced": sorted(
+            (lease_id, wire(quantity))
+            for lease_id, quantity in snapshot["renounced"].items()
+        ),
+        "rpc_seq": snapshot["rpc_seq"],
+        "tallies": {
+            name: wire(value)
+            for name, value in snapshot["tallies"].items()
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def admitted_promise_violations(report: SimulationReport) -> List[str]:
@@ -899,4 +1187,248 @@ def chaos_partition_matrix(
                         link_delay=delay,
                     )
                     result.points.append(_mesh_point(cell))
+    return result
+
+
+# ----------------------------------------------------------------------
+# The partition x crash matrix
+# ----------------------------------------------------------------------
+@dataclass
+class PartitionCrashPoint:
+    """One kill of a journaled mesh run and what its resume proved."""
+
+    kind: str  # "boundary" | "mid-write"
+    index: int  # 1-based journal write the crash landed on
+    duration: Time  # the cell's partition duration
+    #: where the lost record's instant falls relative to the partition
+    #: window: "benign" | "pre-partition" | "mid-partition" |
+    #: "post-partition"
+    phase: str
+    #: the lost record is a multi-attempt RPC verdict — the resume must
+    #: re-walk the seeded backoff ladder, not re-draw it
+    mid_rpc: bool
+    crashed: bool
+    resumed_from: str = ""
+    #: resumed report fingerprint == uninterrupted run's
+    identical: bool = False
+    #: resumed network digest == uninterrupted run's
+    network_identical: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if not self.crashed:
+            return True  # write budget outlived the run; nothing to prove
+        return self.identical and self.network_identical
+
+
+@dataclass
+class PartitionCrashResult:
+    """Outcome of a full partition x crash matrix."""
+
+    points: List[PartitionCrashPoint] = field(default_factory=list)
+    cells: int = 0
+    journal_records: int = 0
+
+    @property
+    def crashed_points(self) -> List[PartitionCrashPoint]:
+        return [p for p in self.points if p.crashed]
+
+    @property
+    def mismatches(self) -> List[PartitionCrashPoint]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def covered_mid_partition(self) -> bool:
+        return any(p.phase == "mid-partition" for p in self.crashed_points)
+
+    @property
+    def covered_mid_rpc(self) -> bool:
+        return any(p.mid_rpc for p in self.crashed_points)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.crashed_points) and not self.mismatches
+
+    def summary(self) -> str:
+        crashed = self.crashed_points
+        return (
+            f"{self.cells} cells, {self.journal_records} journal records, "
+            f"{len(self.points)} kill points ({len(crashed)} crashed, "
+            f"{sum(1 for p in crashed if p.phase == 'mid-partition')} "
+            f"mid-partition, {sum(1 for p in crashed if p.mid_rpc)} "
+            f"mid-rpc-backoff), {len(self.mismatches)} mismatches"
+        )
+
+
+def _crash_phase(cell: PartitionPlan, record: Optional[dict]) -> str:
+    """Classify the journal record a crash tears by partition phase."""
+    if cell.partition_duration <= 0:
+        return "benign"
+    if record is None or "time" not in record:
+        return "pre-partition"  # the header, or nothing yet
+    at = time_from_wire(record["time"])
+    if at < cell.partition_start:
+        return "pre-partition"
+    if at < cell.partition_end:
+        return "mid-partition"
+    return "post-partition"
+
+
+def _is_mid_rpc(record: Optional[dict]) -> bool:
+    return (
+        record is not None
+        and record.get("type") == "wire"
+        and record.get("kind") == "rpc"
+        and record.get("attempts", 1) > 1
+    )
+
+
+def _partition_crash_point(
+    cell: PartitionPlan,
+    truth_fp: Dict[str, object],
+    truth_digest: str,
+    pointdir: Path,
+    *,
+    kind: str,
+    crash_at_write: int,
+    partial_bytes: Optional[int],
+    checkpoint_every: int,
+    phase: str,
+    mid_rpc: bool,
+) -> PartitionCrashPoint:
+    pointdir.mkdir(parents=True, exist_ok=True)
+    journal_path = pointdir / "journal.jsonl"
+    journal = Journal(
+        journal_path,
+        opener=crashing_opener(
+            crash_at_write=crash_at_write, partial_bytes=partial_bytes
+        ),
+    )
+    point = PartitionCrashPoint(
+        kind=kind,
+        index=crash_at_write,
+        duration=cell.partition_duration,
+        phase=phase,
+        mid_rpc=mid_rpc,
+        crashed=False,
+    )
+    try:
+        run_mesh(
+            cell,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=pointdir,
+            journal=journal,
+        )
+        return point  # budget outlived the run; nothing to resume
+    except SimulatedCrash:
+        point.crashed = True
+    finally:
+        journal.close()
+    if CheckpointStore(pointdir).latest() is None:
+        # Death before any snapshot became durable: recovery degenerates
+        # to starting over — still loss-free, still identical.
+        point.resumed_from = "fresh"
+        resumed_report, resumed_policy = run_mesh(cell)
+    else:
+        resumed_report, resumed_policy = resume_mesh(pointdir)
+        point.resumed_from = "checkpoint"
+    fingerprint = report_fingerprint(resumed_report)
+    point.identical = fingerprint == truth_fp
+    point.network_identical = network_digest(resumed_policy) == truth_digest
+    if not point.identical:
+        point.detail = "diverged fields: " + ", ".join(
+            diff_fingerprints(truth_fp, fingerprint)
+        )
+    elif not point.network_identical:
+        point.detail = "network digests diverge"
+    return point
+
+
+def chaos_partition_crash_matrix(
+    workdir: Union[str, Path],
+    plan: PartitionPlan = PartitionPlan(),
+    *,
+    durations: Optional[Sequence[Time]] = None,
+    checkpoint_every: int = 4,
+    boundary_stride: int = 1,
+    mid_write: bool = True,
+) -> PartitionCrashResult:
+    """Kill journaled mesh runs at journal-record boundaries (and torn
+    mid-write) across partition cells; callers assert ``result.ok``.
+
+    Per cell: an uninterrupted plain run and an uninterrupted
+    journaled+checkpointed run must already agree (durability I/O alone
+    changes nothing); then the run is killed at every ``boundary_stride``-th
+    record boundary — the default 1 covers *every* boundary, including
+    mid-partition instants and mid-RPC-backoff records — and each resume
+    must reproduce a field-identical report *and* an identical network
+    digest versus the uninterrupted run.  In-flight messages, lease
+    clocks, and retry ladders all cross the crash boundary through the
+    checkpoint's network section + wire WAL, never through a re-drawn
+    fate."""
+    if boundary_stride < 1:
+        raise FaultInjectionError(
+            f"boundary_stride must be >= 1, got {boundary_stride!r}"
+        )
+    workdir = Path(workdir)
+    if durations is None:
+        durations = (0, plan.partition_duration)
+    result = PartitionCrashResult()
+    for duration in durations:
+        cell = dataclasses.replace(plan, partition_duration=duration)
+        result.cells += 1
+        celldir = workdir / f"cell-d{duration}"
+        truth_report, truth_policy = run_mesh(cell)
+        truth_fp = report_fingerprint(truth_report)
+        truth_digest = network_digest(truth_policy)
+        basedir = celldir / "baseline"
+        basedir.mkdir(parents=True, exist_ok=True)
+        base_report, base_policy = run_mesh(
+            cell,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=basedir,
+            journal=basedir / "journal.jsonl",
+        )
+        base_fp = report_fingerprint(base_report)
+        if base_fp != truth_fp or network_digest(base_policy) != truth_digest:
+            raise FaultInjectionError(
+                "journaling the mesh changed the run itself: "
+                + ", ".join(diff_fingerprints(truth_fp, base_fp))
+            )
+        records, _ = Journal.scan(basedir / "journal.jsonl")
+        result.journal_records += len(records)
+        for write_index in range(1, len(records) + 1, boundary_stride):
+            torn = records[write_index - 1]
+            phase = _crash_phase(cell, torn)
+            mid_rpc = _is_mid_rpc(torn)
+            result.points.append(
+                _partition_crash_point(
+                    cell,
+                    truth_fp,
+                    truth_digest,
+                    celldir / f"boundary-{write_index:04d}",
+                    kind="boundary",
+                    crash_at_write=write_index,
+                    partial_bytes=None,
+                    checkpoint_every=checkpoint_every,
+                    phase=phase,
+                    mid_rpc=mid_rpc,
+                )
+            )
+            if mid_write:
+                result.points.append(
+                    _partition_crash_point(
+                        cell,
+                        truth_fp,
+                        truth_digest,
+                        celldir / f"midwrite-{write_index:04d}",
+                        kind="mid-write",
+                        crash_at_write=write_index,
+                        partial_bytes=17,
+                        checkpoint_every=checkpoint_every,
+                        phase=phase,
+                        mid_rpc=mid_rpc,
+                    )
+                )
     return result

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
@@ -191,7 +191,13 @@ class WireRecord:
 
 @dataclass
 class ChannelStats:
-    """Aggregate accounting over one channel's lifetime."""
+    """Aggregate accounting over one channel's lifetime.
+
+    ``by_kind`` counts *logical* messages (it sums to ``sent``); a
+    duplicated copy of an already-counted message shows up only in
+    ``duplicated`` and ``delivered``, never as a second ``by_kind``
+    entry for its kind.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -260,6 +266,34 @@ class MessageChannel:
     @property
     def in_flight(self) -> int:
         return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, object]:
+        """The channel's full mutable state, isolated from later sends.
+
+        Because every fate is a stateless function of ``(seed, link,
+        msg_id)``, this dict *is* the wire: restoring it (plus the same
+        :class:`NetworkModel`) resumes a run without replaying a single
+        draw.  The pending heap is captured entry-for-entry — delivery
+        order is the total order on ``(deliver_at, seq)``, so a
+        re-heapified copy pops identically.
+        """
+        stats = self._stats
+        return {
+            "log": tuple(self._log),
+            "pending": tuple(self._pending),
+            "pending_seq": self._pending_seq,
+            "stats": replace(stats, by_kind=dict(stats.by_kind)),
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Reinstate a :meth:`state_snapshot`, byte-identical."""
+        self._log = list(snapshot["log"])  # type: ignore[arg-type]
+        self._pending = list(snapshot["pending"])  # type: ignore[arg-type]
+        heapq.heapify(self._pending)
+        self._pending_seq = snapshot["pending_seq"]  # type: ignore[assignment]
+        stats = snapshot["stats"]
+        self._stats = replace(stats, by_kind=dict(stats.by_kind))
 
     # ------------------------------------------------------------------
     def send(
@@ -426,6 +460,7 @@ class MessageChannel:
             stats.duplicated += 1
         else:
             stats.sent += 1
+            stats.by_kind[record.kind] = stats.by_kind.get(record.kind, 0) + 1
         if record.fate == "lost":
             stats.lost += 1
         elif record.fate == "severed":
@@ -435,7 +470,6 @@ class MessageChannel:
             stats.total_delay = (
                 stats.total_delay + record.deliver_at - record.sent_at
             )
-        stats.by_kind[record.kind] = stats.by_kind.get(record.kind, 0) + 1
         self._log.append(record)
         registry = get_registry()
         if registry.enabled:

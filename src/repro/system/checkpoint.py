@@ -37,6 +37,15 @@ resume, since the delta cache dies with the process — a full snapshot
 reseeds the chain.  :meth:`CheckpointStore.latest` validates the whole
 chain before nominating a file: a delta whose base is missing, corrupt,
 or checksum-mismatched is skipped in favour of an older snapshot.
+
+**The wire is derivable state.**  Channel-aware policies (the mesh of
+:mod:`repro.faults.netfaults`) add one more section,
+:attr:`DeltaSnapshotter.NETWORK_SECTION`: because every message fate is
+a stateless SHA-256 draw over ``(seed, link, msg_id)``, the entire wire
+is reconstructed from the in-flight queue, the lease table's clocks,
+and the RPC attempt counters — no fate is ever re-drawn on resume, and
+lease grants/renewals/expiries and RPC verdicts ride the journal as
+WAL records so replay re-verifies them like any admission decision.
 """
 
 from __future__ import annotations
@@ -638,6 +647,17 @@ class DeltaSnapshotter:
 
     #: Section name whose value is the append-only simulation trace.
     TRACE_SECTION = "trace"
+
+    #: Optional section holding a channel-aware policy's wire state (see
+    #: ``MeshPolicy.network_snapshot``): in-flight queue ids + send-order
+    #: counter, channel stats + log, the lease table's grant/renewal
+    #: clocks, the applied-message dedup map, and the RPC attempt
+    #: counter.  Because every message fate is a stateless function of
+    #: ``(seed, link, msg_id)``, this section is all a resume needs to
+    #: rebuild a byte-identical channel without replaying a single draw.
+    #: It is diffed like any other section — a quiet wire costs nothing
+    #: in a delta checkpoint.
+    NETWORK_SECTION = "network"
 
     def __init__(self, *, full_interval: int = DEFAULT_FULL_INTERVAL) -> None:
         if full_interval < 1:

@@ -304,6 +304,13 @@ class OpenSystemSimulator:
             self._admission.observe_resources(initial_resources, start_time)
 
     # ------------------------------------------------------------------
+    @property
+    def admission_policy(self) -> AdmissionPolicy:
+        """The policy deciding admissions — a resumed run's caller needs
+        it back (the mesh report lines read channel/lease state)."""
+        return self._admission
+
+    # ------------------------------------------------------------------
     # Event scheduling
     # ------------------------------------------------------------------
     def schedule(self, *events: Event) -> None:
@@ -412,6 +419,19 @@ class OpenSystemSimulator:
             ).observe(registry.now() - restore_started)
         sim = cls.__new__(cls)
         sim._admission = payload["admission"]
+        # A channel-aware policy unpickles as a structurally valid shell
+        # with an *empty* wire; the dedicated network section carries the
+        # real in-flight queue, lease clocks, and RPC counters.
+        restore_network = getattr(sim._admission, "restore_network", None)
+        if restore_network is not None:
+            network_state = payload.get(DeltaSnapshotter.NETWORK_SECTION)
+            if network_state is None:
+                raise CheckpointError(
+                    "checkpoint has no 'network' section but the restored "
+                    f"policy {sim._admission.name!r} carries wire state; "
+                    "this checkpoint cannot resume the run soundly"
+                )
+            restore_network(network_state)
         sim._allocation = payload["allocation"]
         sim._recovery = payload["recovery"]
         sim._dt = payload["dt"]
@@ -571,6 +591,12 @@ class OpenSystemSimulator:
         # ordinary fault path, so lease expiry flows into victim
         # detection and the recovery pipeline exactly like a revocation.
         poll = getattr(self._admission, "poll", None)
+        # Channel-aware policies also accumulate wire WAL entries (lease
+        # grants/renewals/expiries, RPC verdicts, duplicate drops) while
+        # polling and deciding; draining them through _journal_record
+        # once per slice pins them in the journal, so a resumed run
+        # re-verifies every wire outcome instead of re-deciding it.
+        drain_wire = getattr(self._admission, "drain_wire_records", None)
 
         with registry.span("simulator.run"):
             while state.t < horizon:
@@ -613,6 +639,14 @@ class OpenSystemSimulator:
                         state = self._handle_violations(
                             state, records, trace, fault_causes
                         )
+
+                # 1c. Pin this slice's wire outcomes in the journal (and
+                # drain the buffer regardless, so it never grows when no
+                # journal is configured).  Checkpoints happen at the top
+                # of the loop, so the buffer is always empty there.
+                if drain_wire is not None:
+                    for entry in drain_wire():
+                        self._journal_record(entry)
 
                 # 2. One timed slice via the general transition rule.
                 with phase("claim"):
@@ -885,7 +919,7 @@ class OpenSystemSimulator:
     def _snapshot_sections(self) -> Dict[str, Any]:
         """The snapshot as named sections, pre-pickle — the unit the
         delta snapshotter diffs checkpoint-to-checkpoint."""
-        return {
+        sections = {
             "state": self._state,
             "records": self._records,
             "offered": self._offered,
@@ -904,6 +938,14 @@ class OpenSystemSimulator:
             "allocation": self._allocation,
             "recovery": self._recovery,
         }
+        # Channel-aware policies keep their wire state (in-flight queue,
+        # lease clocks, RPC counters) out of their own pickle and hand it
+        # over as a dedicated section instead — fates are stateless
+        # draws, so this section alone rebuilds the wire on resume.
+        network_snapshot = getattr(self._admission, "network_snapshot", None)
+        if network_snapshot is not None:
+            sections[DeltaSnapshotter.NETWORK_SECTION] = network_snapshot()
+        return sections
 
     # ------------------------------------------------------------------
     def _apply_event(

@@ -67,6 +67,21 @@ class TestPartitionSpan:
         assert not span.cuts("a", "b", 10)  # [start, end)
         assert not span.cuts("a", "c", 7)
 
+    def test_severed_at_a_resume_boundary_matches_fresh(self):
+        """The half-open [start, end) window is a pure function of the
+        query instant, so a run resumed exactly at the partition start,
+        at end-1, or at end answers identically to a fresh run — no
+        off-by-one at a crash boundary, including through a pickled
+        (checkpointed) model."""
+        import pickle
+
+        span = PartitionSpan(start=18, end=28, severed=(("door", "n1"),))
+        model = NetworkModel(partitions=(span,))
+        restored = pickle.loads(pickle.dumps(model))
+        for at, expect in ((17, False), (18, True), (27, True), (28, False)):
+            assert model.severed("door", "n1", at) is expect
+            assert restored.severed("door", "n1", at) is expect
+
 
 class TestNetworkModel:
     def test_link_override_matches_either_direction(self):
@@ -289,3 +304,54 @@ class TestRpc:
         first = self.rpc(MessageChannel(model), now=0)
         second = self.rpc(MessageChannel(model), now=0)
         assert first == second
+
+    def test_duplicated_stray_verdict_counted_once_not_per_copy(self):
+        """Regression: a verdict that misses its timeout and *also*
+        draws a duplicate used to double-dip the accounting.  The stray
+        is one logical late verdict per attempt, ``by_kind`` counts it
+        once (it sums to ``sent``), and the echo shows up only in
+        ``duplicated``."""
+        channel = MessageChannel(
+            NetworkModel(seed=3, default=LinkConfig(delay=2, duplicate=1.0))
+        )
+        outcome = self.rpc(channel, now=0, timeout=1, max_attempts=2)
+        assert not outcome.ok
+        assert outcome.stray_replies == 2  # one per attempt, not per copy
+        stats = channel.stats
+        assert stats.by_kind == {"admit-request": 2, "admit-verdict": 2}
+        assert stats.sent == 4
+        assert sum(stats.by_kind.values()) == stats.sent
+        assert stats.duplicated == 4  # every leg echoed, accounted apart
+
+
+# ----------------------------------------------------------------------
+# Wire-state capture (the checkpoint's network section)
+# ----------------------------------------------------------------------
+
+class TestStateSnapshot:
+    def test_restore_resumes_delivery_identically(self):
+        model = NetworkModel(
+            seed=2, default=LinkConfig(delay=1, jitter=3, duplicate=0.3)
+        )
+        channel = MessageChannel(model)
+        for i in range(6):
+            channel.send("ping", "a", "b", i, msg_id=f"m{i}")
+        snapshot = channel.state_snapshot()
+        expected = [(r.msg_id, r.fate) for r in channel.deliver_due(100)]
+        twin = MessageChannel(model)
+        twin.restore_state(snapshot)
+        assert [(r.msg_id, r.fate) for r in twin.deliver_due(100)] == expected
+        assert twin.stats == channel.stats
+        assert twin.log == channel.log
+
+    def test_snapshot_is_isolated_from_later_sends(self):
+        model = NetworkModel(seed=2)
+        channel = MessageChannel(model)
+        channel.send("ping", "a", "b", 0, msg_id="m0")
+        snapshot = channel.state_snapshot()
+        channel.send("ping", "a", "b", 1, msg_id="m1")
+        twin = MessageChannel(model)
+        twin.restore_state(snapshot)
+        assert twin.stats.sent == 1
+        assert twin.in_flight == 1
+        assert channel.stats.sent == 2

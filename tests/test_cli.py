@@ -388,6 +388,7 @@ class TestMeshNetworkFlags:
     @pytest.mark.parametrize("argv, fragment", [
         # network flags belong to the mesh scenario only
         (["scenario", "pipeline", "--link-delay", "1"], "scenario mesh"),
+        (["scenario", "pipeline", "--link-jitter", "1"], "scenario mesh"),
         # the mesh is its own closed world: no second admission path,
         # no second fault model, no other decision policy
         (["scenario", "mesh", "--front-door"], "second admission path"),
@@ -401,11 +402,39 @@ class TestMeshNetworkFlags:
         assert main(argv) == 2
         assert fragment in capsys.readouterr().err
 
-    def test_mesh_checkpointing_rejected(self, tmp_path, capsys):
+    def test_mesh_checkpointing_and_resume_reproduce_the_run(
+        self, tmp_path, capsys
+    ):
+        """The journaled wire lifts the old exit-2 refusal: a mesh run
+        checkpoints like any other scenario and resumes to the exact
+        same table and network digest."""
+        assert main([
+            "scenario", "mesh", "--seed", "1", "--link-loss", "0.1",
+            "--checkpoint-dir", str(tmp_path), "--checkpoint-every", "4",
+        ]) == 0
+        fresh_out = capsys.readouterr().out
+        mesh_dir = tmp_path / "netmesh"
+        assert (mesh_dir / "journal.jsonl").exists()
+        assert list(mesh_dir.glob("ckpt-*.json"))
         assert main([
             "scenario", "mesh", "--checkpoint-dir", str(tmp_path),
+            "--resume",
+        ]) == 0
+        assert capsys.readouterr().out == fresh_out
+
+    def test_mesh_resume_refuses_network_flags(self, tmp_path, capsys):
+        assert main([
+            "scenario", "mesh", "--checkpoint-dir", str(tmp_path),
+            "--resume", "--link-loss", "0.5",
         ]) == 2
-        assert "not yet journaled" in capsys.readouterr().err
+        assert "fresh runs only" in capsys.readouterr().err
+
+    def test_mesh_resume_without_artifacts_exit_2(self, tmp_path, capsys):
+        assert main([
+            "scenario", "mesh", "--checkpoint-dir", str(tmp_path),
+            "--resume",
+        ]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
 
     @pytest.mark.parametrize("value", ["18", "a:b", "-1:5"])
     def test_malformed_partition_window_rejected(self, value, capsys):
@@ -415,14 +444,37 @@ class TestMeshNetworkFlags:
         err = capsys.readouterr().err
         assert "START" in err and "DURATION" in err
 
-    def test_replay_tuning_without_partition_plan_rejected(
-        self, tmp_path, capsys
+    @staticmethod
+    def _join_trace(tmp_path):
+        from repro.system import resource_join
+        from repro.workloads import save_events
+        from repro.resources import ResourceSet, cpu, term
+
+        trace = tmp_path / "t.jsonl"
+        save_events(
+            [resource_join(0, ResourceSet.of(term(2, cpu("l1"), 0, 10)))],
+            trace,
+        )
+        return trace
+
+    @pytest.mark.parametrize("flags", [
+        ["--link-loss", "0.2"],
+        ["--link-delay", "1", "--link-jitter", "2"],
+        ["--network-seed", "7"],
+    ])
+    def test_replay_link_flags_alone_run_an_unpartitioned_mesh(
+        self, tmp_path, flags, capsys
     ):
+        """Link-shaping flags no longer demand --partition-plan: a
+        zero-duration window is synthesized, so the wire is lossy or
+        slow but never severed."""
+        trace = self._join_trace(tmp_path)
         assert main([
-            "replay", str(tmp_path / "t.jsonl"), "--horizon", "10",
-            "--link-loss", "0.2",
-        ]) == 2
-        assert "--partition-plan" in capsys.readouterr().err
+            "replay", str(trace), "--horizon", "10", *flags,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "unreliable network:" in out
+        assert "severed=0" in out
 
     @pytest.mark.parametrize("extra, fragment", [
         (["--front-door"], "second admission path"),

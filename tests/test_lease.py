@@ -138,3 +138,29 @@ class TestLeaseTable:
         lease.attach("job")
         assert table.holder_of("job") is lease
         assert table.holder_of("free") is None
+
+    def test_state_snapshot_roundtrip_preserves_clocks(self):
+        """The checkpoint's network section carries the table through a
+        crash: grant/renewal clocks, expiry marks, and dependents all
+        survive, and the restored copies are isolated from the source."""
+        table = LeaseTable()
+        live = table.grant(make_lease("live", granted_at=2, ttl=10))
+        live.renew(acked_at=5)
+        live.attach("job")
+        dead = table.grant(make_lease("dead", granted_at=2, ttl=4))
+        dead.expired_at = 6
+        dead.failed_renewals = 3
+
+        twin = LeaseTable()
+        twin.restore_state(table.state_snapshot())
+        restored = twin.get("live")
+        assert restored is not live  # deep copy, not aliasing
+        assert restored.expires_at == live.expires_at
+        assert restored.renewals == 1
+        assert restored.next_renew_at == live.next_renew_at
+        assert restored.dependents == ("job",)
+        assert twin.get("dead").expired
+        assert twin.get("dead").failed_renewals == 3
+        # mutating the restored table never leaks back
+        restored.renew(acked_at=8)
+        assert live.renewals == 1
