@@ -1,0 +1,40 @@
+"""Whole-program flow analyses over the ``repro`` tree.
+
+Where :mod:`repro.analysis.lint` sees one line at a time, this package
+sees one *call chain* at a time: an AST-derived interprocedural call
+graph (:mod:`.callgraph`) feeding three analyses —
+
+* :mod:`.taint` — transitive nondeterminism/exactness taint into the
+  deterministic and exact-arithmetic module families, with full witness
+  chains;
+* :mod:`.coverage` — the checkpoint-coverage proof for
+  ``@checkpointable`` classes (every ``self`` attribute captured or
+  annotated derivable);
+* :mod:`.escape` — shared-state escape detection plus the ranked
+  isolation report grounding the parallel per-enclave simulator.
+
+Exposed as ``repro-lint flow`` with the engine's 0/1/2 exit contract.
+"""
+
+from repro.analysis.flow.analyzer import (
+    FlowAnalyzer,
+    FlowResult,
+    render_flow_json,
+    render_flow_text,
+)
+from repro.analysis.flow.annotations import FlowAnnotation, parse_annotations
+from repro.analysis.flow.callgraph import Program, build_program
+from repro.analysis.flow.names import FLOW_META_RULES, FLOW_RULES
+
+__all__ = [
+    "FLOW_META_RULES",
+    "FLOW_RULES",
+    "FlowAnalyzer",
+    "FlowAnnotation",
+    "FlowResult",
+    "Program",
+    "build_program",
+    "parse_annotations",
+    "render_flow_json",
+    "render_flow_text",
+]

@@ -1,0 +1,208 @@
+"""The ``repro-lint flow`` driver: build the program, run the three
+interprocedural analyses, reconcile sanctions, render.
+
+The reconcile contract mirrors the line engine exactly: a finding on a
+line carrying a reasoned ``# repro-lint: disable=<flow-rule>`` is
+silenced and the suppression marked used; a flow-named suppression that
+silences nothing is itself a finding (``suppression-unused``) — *this*
+analyzer polices those, because ``repro-lint code`` deliberately skips
+the unused check for flow-named suppressions it cannot discharge.  The
+``# repro-flow:`` annotation family is policed here too (see
+:mod:`repro.analysis.flow.annotations`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.annotations import annotation_meta_findings
+from repro.analysis.flow.callgraph import Program, build_program
+from repro.analysis.flow.coverage import (
+    checkpointable_classes,
+    coverage_findings,
+)
+from repro.analysis.flow.escape import (
+    IsolationEntry,
+    escape_findings_and_report,
+)
+from repro.analysis.flow.names import FLOW_RULES
+from repro.analysis.flow.taint import (
+    exactness_findings,
+    nondeterminism_findings,
+)
+from repro.analysis.lint.engine import Finding
+from repro.analysis.lint.reporters import FINDING_FIELDS
+
+#: Version of the ``repro-lint flow --format json`` document.
+FLOW_JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class FlowResult:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    isolation_report: List[IsolationEntry]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+class FlowAnalyzer:
+    """Whole-program analysis over a set of paths (plus in-memory
+    sources, which tests use to inject mutated modules)."""
+
+    def check_paths(
+        self,
+        paths: Sequence[str | Path],
+        *,
+        sources: Optional[Dict[str, str]] = None,
+    ) -> FlowResult:
+        program = build_program(paths, sources=sources)
+        raw: List[Finding] = []
+        for path, (line, message) in sorted(program.parse_errors.items()):
+            raw.append(
+                Finding(
+                    path=path, line=line, column=1,
+                    rule="parse-error", message=message,
+                )
+            )
+        # Ordering matters only for annotation bookkeeping: coverage
+        # marks 'derivable' annotations used before the meta pass runs.
+        raw.extend(nondeterminism_findings(program))
+        raw.extend(exactness_findings(program))
+        raw.extend(coverage_findings(program))
+        escape, report = escape_findings_and_report(program)
+        raw.extend(escape)
+        kept = self._reconcile(program, raw)
+        for path in sorted(program.annotations):
+            kept.extend(
+                annotation_meta_findings(program.annotations[path], path)
+            )
+        kept.extend(self._stale_flow_suppressions(program))
+        kept.sort()
+        files_checked = len(program.files) + len(program.parse_errors)
+        return FlowResult(
+            findings=kept,
+            files_checked=files_checked,
+            isolation_report=report,
+            stats={
+                "functions": len(program.functions),
+                "classes": len(program.classes),
+                "call_edges": sum(
+                    len(fn.calls) for fn in program.functions.values()
+                ),
+                "checkpointable_classes": len(
+                    checkpointable_classes(program)
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _reconcile(
+        self, program: Program, raw: List[Finding]
+    ) -> List[Finding]:
+        kept: List[Finding] = []
+        for finding in raw:
+            suppression = program.suppressions.get(finding.path, {}).get(
+                finding.line
+            )
+            if (
+                suppression is not None
+                and suppression.has_reason
+                and finding.rule in suppression.rules
+            ):
+                suppression.used.add(finding.rule)
+                continue
+            kept.append(finding)
+        return kept
+
+    def _stale_flow_suppressions(self, program: Program) -> List[Finding]:
+        out: List[Finding] = []
+        for path in sorted(program.suppressions):
+            for suppression in program.suppressions[path].values():
+                flow_named = [
+                    name for name in suppression.rules if name in FLOW_RULES
+                ]
+                if not flow_named or not suppression.has_reason:
+                    continue
+                if suppression.used & set(flow_named):
+                    continue
+                out.append(
+                    Finding(
+                        path=path,
+                        line=suppression.line,
+                        column=1,
+                        rule="suppression-unused",
+                        message=(
+                            "flow suppression "
+                            f"({', '.join(flow_named)}) silences nothing "
+                            "on this line; remove it or move it to the "
+                            "offending line"
+                        ),
+                    )
+                )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Reporters (the text form delegates to the engine's renderer idiom; the
+# JSON document extends the code schema with the isolation report).
+# ----------------------------------------------------------------------
+def render_flow_text(result: FlowResult, *, report: bool = False) -> str:
+    lines = [finding.render() for finding in result.findings]
+    errors = sum(1 for f in result.findings if f.severity == "error")
+    warnings = len(result.findings) - errors
+    if result.findings:
+        lines.append(
+            f"{errors} error(s), {warnings} warning(s) "
+            f"in {result.files_checked} file(s) checked"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s) checked, no findings"
+        )
+    if report:
+        lines.append(
+            f"isolation report ({len(result.isolation_report)} "
+            "entries, rank 1 = hardest escape):"
+        )
+        for entry in result.isolation_report:
+            lines.append(entry.render())
+    return "\n".join(lines)
+
+
+def render_flow_json(result: FlowResult) -> str:
+    document = {
+        "version": FLOW_JSON_SCHEMA_VERSION,
+        "tool": "repro-lint flow",
+        "files_checked": result.files_checked,
+        "counts": {
+            "error": sum(
+                1 for f in result.findings if f.severity == "error"
+            ),
+            "warning": sum(
+                1 for f in result.findings if f.severity == "warning"
+            ),
+        },
+        "findings": [
+            {name: getattr(finding, name) for name in FINDING_FIELDS}
+            for finding in result.findings
+        ],
+        "isolation_report": [
+            {
+                "rank": entry.rank,
+                "module": entry.module,
+                "path": entry.path,
+                "line": entry.line,
+                "name": entry.name,
+                "kind": entry.kind,
+                "detail": entry.detail,
+            }
+            for entry in result.isolation_report
+        ],
+        "stats": result.stats,
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

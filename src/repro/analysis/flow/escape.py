@@ -1,0 +1,280 @@
+"""Shared-state escape analysis for the enclave-parallel packages.
+
+The ROADMAP's parallel-DES item wants one simulator (or thread) per
+enclave.  That is only sound if no state *escapes* an enclave through a
+module-level alias: a module-level dict is process-global, an ambient
+singleton instance is shared by every enclave that imports it, and a
+``global`` statement is a write to neither-yours-nor-mine memory.  This
+pass inventories every such escape hatch in the packages the parallel
+plan would shard (``repro.system``, ``repro.encapsulation``,
+``repro.decision``) and emits two artifacts:
+
+* **findings** (rule ``flow-shared-state``) for the hard escapes —
+  module-level mutable containers and repro-class singleton instances,
+  class-level mutable defaults, and ``global`` statements.  These block
+  the gate unless carrying a reasoned suppression (a deliberate ambient
+  object is a *decision*, and decisions get written down);
+* a ranked **isolation report** (also covering the soft, sanctioned
+  reads such as ``get_registry()``) that is the work-list for the
+  parallel-DES refactor: rank 1 must move into per-enclave state, rank
+  2 must become instance state or parameters, rank 3 is safe if the
+  ambient object stays read-only per process.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.flow.callgraph import Program, _dotted_of
+from repro.analysis.lint.engine import Finding, SourceFile
+
+#: Packages the parallel per-enclave simulator would shard.
+ESCAPE_SCOPE: Tuple[str, ...] = (
+    "repro.system",
+    "repro.encapsulation",
+    "repro.decision",
+)
+
+#: Constructors whose result is shared mutable state at module level.
+_MUTABLE_CALLS = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.Counter",
+        "collections.OrderedDict",
+        "itertools.count",
+        "threading.Lock",
+        "threading.RLock",
+        "queue.Queue",
+    }
+)
+
+#: Sanctioned ambient accessors; reads are rank-3 report entries, not
+#: findings (the registry contract keeps telemetry out of state).
+_AMBIENT_ACCESSORS = frozenset(
+    {
+        "repro.observability.metrics.get_registry",
+        "repro.observability.metrics.set_registry",
+        "repro.observability.metrics.use_registry",
+    }
+)
+
+
+@dataclass(frozen=True, order=True)
+class IsolationEntry:
+    """One row of the ranked isolation report (lower rank = worse)."""
+
+    rank: int
+    module: str
+    path: str
+    line: int
+    name: str
+    kind: str
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"  [rank {self.rank}] {self.path}:{self.line} "
+            f"{self.name} ({self.kind}): {self.detail}"
+        )
+
+
+def _in_scope(module: Optional[str], scope: Sequence[str]) -> bool:
+    return module is not None and any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in scope
+    )
+
+
+def _mutable_value(
+    program: Program, module: str, value: ast.expr
+) -> Optional[str]:
+    """Human description when ``value`` builds shared mutable state."""
+    if isinstance(value, (ast.List, ast.ListComp)):
+        return "module-level list"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "module-level dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "module-level set"
+    if isinstance(value, ast.Call):
+        dotted = _dotted_of(value.func)
+        if dotted is None:
+            return None
+        resolved = program.resolve(module, dotted)
+        if resolved is None:
+            # Unimported bare name: the builtin constructors.
+            resolved = dotted if dotted in _MUTABLE_CALLS else None
+        if resolved is None:
+            return None
+        if resolved in _MUTABLE_CALLS:
+            return f"module-level {resolved}(...)"
+        if resolved in program.classes:
+            return f"ambient singleton instance of {resolved}"
+    return None
+
+
+def _module_assigns(
+    source: SourceFile,
+) -> Iterator[Tuple[str, ast.expr, int]]:
+    for node in source.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                yield target.id, node.value, node.lineno
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                yield node.target.id, node.value, node.lineno
+
+
+def _class_level_assigns(
+    source: SourceFile,
+) -> Iterator[Tuple[str, str, ast.expr, int]]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for child in node.body:
+            if isinstance(child, ast.Assign) and len(child.targets) == 1:
+                target = child.targets[0]
+                if isinstance(target, ast.Name):
+                    yield node.name, target.id, child.value, child.lineno
+
+
+def escape_findings_and_report(
+    program: Program,
+    *,
+    scope: Sequence[str] = ESCAPE_SCOPE,
+) -> Tuple[List[Finding], List[IsolationEntry]]:
+    findings: List[Finding] = []
+    report: List[IsolationEntry] = []
+    for path in sorted(program.files):
+        source = program.files[path]
+        module = source.module
+        if not _in_scope(module, scope):
+            continue
+        assert module is not None
+        for name, value, line in _module_assigns(source):
+            if name.startswith("__") and name.endswith("__"):
+                continue  # export/metadata dunders, written once at import
+            detail = _mutable_value(program, module, value)
+            if detail is None:
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=1,
+                    rule="flow-shared-state",
+                    message=(
+                        f"{detail} '{name}' is process-global state in "
+                        f"enclave-scoped module {module}; every enclave "
+                        "of a parallel run would alias it — move it into "
+                        "per-enclave instance state"
+                    ),
+                )
+            )
+            report.append(
+                IsolationEntry(
+                    rank=1,
+                    module=module,
+                    path=path,
+                    line=line,
+                    name=name,
+                    kind="module-global",
+                    detail=detail,
+                )
+            )
+        for cls_name, attr, value, line in _class_level_assigns(source):
+            detail = _mutable_value(program, module, value)
+            if detail is None:
+                continue
+            findings.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    column=1,
+                    rule="flow-shared-state",
+                    message=(
+                        f"class-level mutable default {cls_name}.{attr} "
+                        f"({detail}) is shared by every instance across "
+                        "every enclave; initialise it in __init__"
+                    ),
+                )
+            )
+            report.append(
+                IsolationEntry(
+                    rank=2,
+                    module=module,
+                    path=path,
+                    line=line,
+                    name=f"{cls_name}.{attr}",
+                    kind="class-default",
+                    detail=detail,
+                )
+            )
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=node.lineno,
+                        column=1,
+                        rule="flow-shared-state",
+                        message=(
+                            f"'global {names}' writes process-global state "
+                            f"from enclave-scoped module {module}; thread "
+                            "the value through explicit state instead"
+                        ),
+                    )
+                )
+                report.append(
+                    IsolationEntry(
+                        rank=2,
+                        module=module,
+                        path=path,
+                        line=node.lineno,
+                        name=names,
+                        kind="global-stmt",
+                        detail="global statement",
+                    )
+                )
+    _ambient_reads(program, scope, report)
+    report.sort()
+    return findings, report
+
+
+def _ambient_reads(
+    program: Program, scope: Sequence[str], report: List[IsolationEntry]
+) -> None:
+    seen = set()
+    for qname in sorted(program.functions):
+        fn = program.functions[qname]
+        if not _in_scope(fn.module, scope):
+            continue
+        for callee, line, _kind in fn.calls:
+            if callee not in _AMBIENT_ACCESSORS:
+                continue
+            key = (fn.path, line)
+            if key in seen:
+                continue
+            seen.add(key)
+            report.append(
+                IsolationEntry(
+                    rank=3,
+                    module=fn.module,
+                    path=fn.path,
+                    line=line,
+                    name=callee.rsplit(".", 1)[-1],
+                    kind="ambient-read",
+                    detail=(
+                        "sanctioned registry access; safe while the "
+                        "ambient registry stays read-only per process"
+                    ),
+                )
+            )

@@ -1,0 +1,56 @@
+"""The flow-analysis rule namespace.
+
+Kept in a leaf module so :func:`repro.analysis.lint.engine.known_rule_names`
+can pull the names in without importing the (heavier) call-graph
+machinery — a suppression naming ``flow-shared-state`` must parse as a
+known rule under ``repro-lint code`` too, even though only
+``repro-lint flow`` can produce or discharge the finding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Interprocedural rules run by ``repro-lint flow``.
+FLOW_RULES: Dict[str, str] = {
+    "flow-nondeterminism": (
+        "a function in a deterministic module transitively reaches a "
+        "wall-clock, ambient-randomness, or environment read through its "
+        "call chain; the finding carries the full witness chain"
+    ),
+    "flow-exactness": (
+        "a function in an exact-arithmetic module transitively reaches "
+        "a function containing bare float literals; Theorems 1-4 stay "
+        "proofs only while every reachable operand is int/Fraction"
+    ),
+    "flow-snapshot-coverage": (
+        "a checkpointable class assigns a self attribute no snapshot "
+        "method captures and no 'repro-flow: derivable' annotation "
+        "sanctions — state that would silently vanish across a resume"
+    ),
+    "flow-shared-state": (
+        "module-level mutable state, an ambient singleton instance, a "
+        "class-level mutable default, or a 'global' statement inside the "
+        "enclave-parallel packages (system/encapsulation/decision) — "
+        "state that escapes per-enclave isolation"
+    ),
+}
+
+#: Meta-rules policing the ``# repro-flow:`` annotation family itself,
+#: mirroring the PR 5 suppression contract (a reasonless annotation
+#: sanctions nothing; stale annotations cannot accumulate).
+FLOW_META_RULES: Dict[str, str] = {
+    "flow-annotation-missing-reason": (
+        "a '# repro-flow:' annotation lacks the mandatory '-- reason' "
+        "clause"
+    ),
+    "flow-annotation-unknown-directive": (
+        "a '# repro-flow:' annotation uses a directive the analyzer "
+        "does not know (known: derivable=<attr>)"
+    ),
+    "flow-annotation-unused": (
+        "a '# repro-flow:' annotation sanctions nothing (the attribute "
+        "is already captured, or the line is outside any checkpointable "
+        "class)"
+    ),
+}

@@ -11,6 +11,7 @@ Exit-code contract (uniform across every subcommand, and shared with
 Subcommands::
 
     repro-lint code [PATH...]          # AST rules over Python sources
+    repro-lint flow [PATH...]          # whole-program call-chain analyses
     repro-lint spec FILE...            # semantic checks over spec files
     repro-lint rules                   # print the rule catalogue
 """
@@ -62,6 +63,26 @@ def _build_parser() -> argparse.ArgumentParser:
     code.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="report format (default: text)",
+    )
+
+    flow = sub.add_parser(
+        "flow",
+        help="whole-program flow analyses (transitive taint, checkpoint "
+        "coverage, shared-state escapes) over Python sources",
+    )
+    flow.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    flow.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text; json includes the ranked "
+        "isolation report and call-graph stats)",
+    )
+    flow.add_argument(
+        "--report", action="store_true",
+        help="also print the ranked shared-state isolation report "
+        "(always present in json output)",
     )
 
     spec = sub.add_parser(
@@ -119,6 +140,27 @@ def _cmd_code(args: argparse.Namespace) -> int:
     return _emit(findings, checked, args.format)
 
 
+def _cmd_flow(args: argparse.Namespace) -> int:
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            return _usage_error(f"no such file or directory: {path}")
+    # Imported here so `repro-lint code` never pays for the call-graph
+    # machinery it does not use.
+    from repro.analysis.flow import (
+        FlowAnalyzer,
+        render_flow_json,
+        render_flow_text,
+    )
+
+    result = FlowAnalyzer().check_paths(paths)
+    if args.format == "json":
+        print(render_flow_json(result))
+    else:
+        print(render_flow_text(result, report=args.report))
+    return exit_code(result.findings)
+
+
 def _spec_files(paths: Sequence[str]) -> List[Path] | None:
     out: List[Path] = []
     for raw in paths:
@@ -161,8 +203,15 @@ def _cmd_rules(_args: argparse.Namespace) -> int:
     for rule in all_rules():
         scope = ", ".join(rule.scope) if rule.scope else "all repro modules"
         print(f"  {rule.name}: {rule.description} [scope: {scope}]")
+    print("flow rules (repro-lint flow):")
+    from repro.analysis.flow.names import FLOW_META_RULES, FLOW_RULES
+
+    for name, description in FLOW_RULES.items():
+        print(f"  {name}: {description}")
     print("meta rules (suppression machinery):")
     for name, description in META_RULES.items():
+        print(f"  {name}: {description}")
+    for name, description in FLOW_META_RULES.items():
         print(f"  {name}: {description}")
     print("spec rules (repro-lint spec):")
     for name, description in SPEC_RULES.items():
@@ -179,6 +228,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "code":
         return _cmd_code(args)
+    if args.command == "flow":
+        return _cmd_flow(args)
     if args.command == "spec":
         return _cmd_spec(args)
     if args.command == "rules":

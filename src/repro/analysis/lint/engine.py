@@ -186,9 +186,24 @@ def get_rules(names: Sequence[str]) -> Tuple[Rule, ...]:
 
 
 def known_rule_names() -> frozenset:
-    """Code-rule plus meta-rule names, the namespace suppressions live in."""
+    """Code-rule, meta-rule, and flow-rule names — the one namespace all
+    suppressions live in.  Flow rules are produced only by ``repro-lint
+    flow``, but a suppression naming one must parse as known under
+    ``repro-lint code`` too (both tools read the same comments)."""
     _load_builtin_rules()
-    return frozenset(_REGISTRY) | frozenset(META_RULES)
+    return (
+        frozenset(_REGISTRY)
+        | frozenset(META_RULES)
+        | _flow_rule_names()
+    )
+
+
+def _flow_rule_names() -> frozenset:
+    # Late import of the (leaf) flow namespace module: the flow package
+    # imports the engine, not vice versa.
+    from repro.analysis.flow.names import FLOW_META_RULES, FLOW_RULES
+
+    return frozenset(FLOW_RULES) | frozenset(FLOW_META_RULES)
 
 
 def _load_builtin_rules() -> None:
@@ -312,6 +327,11 @@ class Analyzer:
                     **at,
                 )
         if self.check_unused and not suppression.used:
+            if any(name in _flow_rule_names() for name in suppression.rules):
+                # Flow-rule suppressions are discharged by `repro-lint
+                # flow`, which runs its own staleness check; the line
+                # engine cannot tell used from stale here.
+                return
             if all(name in known for name in suppression.rules):
                 yield Finding(
                     rule="suppression-unused",

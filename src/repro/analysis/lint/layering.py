@@ -31,7 +31,7 @@ from repro.analysis.lint.engine import Finding, Rule, SourceFile, register
 #: Bottom-up architecture map of ``src/repro``.  Root modules appear
 #: under their own name; the root package itself is the ``repro`` entry.
 LAYERS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("kernel", ("errors",)),
+    ("kernel", ("errors", "markers")),
     # Self-contained deterministic utilities (seeded backoff): above the
     # error hierarchy, below everything with domain semantics.
     ("primitives", ("backoff",)),

@@ -21,7 +21,6 @@ disturbed — the controller never re-plans admitted work.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
@@ -34,6 +33,7 @@ from repro.decision.schedule import ConcurrentSchedule, Schedule
 from repro.decision.sequential import find_schedule
 from repro.errors import TransitionError, UndefinedOperationError
 from repro.intervals.interval import Time
+from repro.markers import checkpointable
 from repro.observability import get_registry
 from repro.resources.resource_set import ResourceSet
 from repro.resources.term import ResourceTerm
@@ -52,6 +52,7 @@ class AdmissionDecision:
         return self.admitted
 
 
+@checkpointable
 class AdmissionController:
     """Deadline-assurance admission control per Theorem 4.
 
@@ -422,10 +423,17 @@ def _requirement_label(requirement: ConcurrentRequirement) -> str:
     return labels[0].split("[")[0] if labels else "computation"
 
 
-_label_counter = itertools.count(2)
-
-
 def _unique_label(label: str, existing: Dict[str, ConcurrentSchedule]) -> str:
+    """Smallest ``label#N`` not yet scheduled.
+
+    Derived from the controller's own table, never from process-global
+    state: a counter shared across controllers would make labels depend
+    on every admission the *process* ever made, not the controller —
+    untestable in isolation and unstable across enclave-parallel runs.
+    """
     if label not in existing:
         return label
-    return f"{label}#{next(_label_counter)}"
+    ordinal = 2
+    while f"{label}#{ordinal}" in existing:
+        ordinal += 1
+    return f"{label}#{ordinal}"

@@ -30,7 +30,6 @@ there).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Iterator, Optional
 
 from repro.computation.requirements import (
@@ -48,9 +47,6 @@ class EnclaveError(RotaError, ValueError):
     migrating a started computation, ...)."""
 
 
-_enclave_ids = itertools.count(1)
-
-
 class Enclave:
     """One resource encapsulation: a named slice of the system.
 
@@ -65,7 +61,19 @@ class Enclave:
         controller: AdmissionController,
         parent: Optional["Enclave"] = None,
     ) -> None:
-        self.name = name or f"enclave-{next(_enclave_ids)}"
+        # Default names derive from the enclave tree itself, never from a
+        # process-global counter: two enclaves built in different
+        # processes (or different enclave-parallel shards) with the same
+        # tree state must get the same name.
+        if not name:
+            if parent is None:
+                name = "enclave-root"
+            else:
+                ordinal = len(parent._children) + 1
+                while f"enclave-{ordinal}" in parent._children:
+                    ordinal += 1
+                name = f"enclave-{ordinal}"
+        self.name = name
         self._controller = controller
         self._parent = parent
         self._children: Dict[str, Enclave] = {}

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import LeaseError
 from repro.intervals.interval import Time
+from repro.markers import checkpointable
 from repro.resources.resource_set import ResourceSet
 
 
@@ -108,6 +109,7 @@ class Lease:
             self.dependents = self.dependents + (label,)
 
 
+@checkpointable
 class LeaseTable:
     """Insertion-ordered registry of leases held by (or granted to) one
     side of an enclave boundary."""

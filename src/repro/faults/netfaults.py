@@ -64,6 +64,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.recovery import RecoveryPolicy
 from repro.intervals.interval import Interval, Time
+from repro.markers import checkpointable
 from repro.resources.located_type import Node
 from repro.resources.resource_set import ResourceSet
 from repro.serialization import time_from_wire, time_to_wire
@@ -236,6 +237,7 @@ class PartitionPlan:
         return Backoff(base=1, factor=2.0, cap=4, jitter=0.25, seed=self.seed)
 
 
+@checkpointable
 class MeshPolicy(AdmissionPolicy):
     """Admission over an enclave mesh whose control plane is a network.
 
@@ -288,6 +290,9 @@ class MeshPolicy(AdmissionPolicy):
         self._rpc_seq = 0
         #: wire WAL entries accumulated this slice; the simulator drains
         #: them into the journal via :meth:`drain_wire_records`
+        # repro-flow: derivable=_wire_wal -- slice-local journal buffer,
+        # drained every slice; PR 9 recovery replays it from the journal,
+        # so checkpoints deliberately exclude it (_WIRE_STATE)
         self._wire_wal: List[Dict[str, object]] = []
         # Observational tallies (reported by benchmarks, never traced).
         self.network_delay_charged: Time = 0

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.backoff import Backoff
 from repro.errors import ChannelError
 from repro.intervals.interval import Time
+from repro.markers import checkpointable
 from repro.observability import get_registry
 
 #: Resolution of one fate draw: first 8 digest bytes, uniform on [0, 1).
@@ -231,6 +232,7 @@ class RpcOutcome:
         return end - since  # type: ignore[operator]
 
 
+@checkpointable
 class MessageChannel:
     """A log-keeping conduit applying one :class:`NetworkModel`.
 
@@ -243,7 +245,12 @@ class MessageChannel:
     """
 
     def __init__(self, network: NetworkModel, *, name: str = "channel") -> None:
+        # repro-flow: derivable=_network -- stateless configuration, not run
+        # state: the model decides fates pure-functionally and the restoring
+        # owner re-binds the topology it is resuming under
         self._network = network
+        # repro-flow: derivable=name -- construction identity; the restoring
+        # owner addresses the channel, the channel never re-reads its name
         self.name = name
         self._log: List[WireRecord] = []
         self._pending: List[Tuple[Time, int, WireRecord]] = []

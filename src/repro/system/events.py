@@ -44,7 +44,7 @@ class _EventSequence:
         return value
 
 
-_sequence = _EventSequence()
+_sequence = _EventSequence()  # repro-lint: disable=flow-shared-state -- deliberate process-wide tiebreaker with explicit sequence_value()/restore_sequence() checkpoint hooks; rank-1 entry in the flow isolation report until the parallel-DES refactor threads it per enclave
 
 
 def sequence_value() -> int:

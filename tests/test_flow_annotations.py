@@ -1,0 +1,94 @@
+"""The ``# repro-flow:`` annotation family and its self-policing."""
+
+from repro.analysis.flow import FlowAnalyzer, parse_annotations
+
+
+def _rules(sources, paths=()):
+    result = FlowAnalyzer().check_paths(list(paths), sources=sources)
+    return {(f.rule, f.line) for f in result.findings}
+
+
+def test_parse_annotation_grammar():
+    annotations = parse_annotations(
+        "x = 1\n"
+        "y = 2  # repro-flow: derivable=_cache -- rebuilt lazily\n"
+    )
+    assert list(annotations) == [2]
+    annotation = annotations[2]
+    assert annotation.directive == "derivable"
+    assert annotation.argument == "_cache"
+    assert annotation.reason == "rebuilt lazily"
+    assert annotation.has_reason
+
+
+def test_annotation_inside_string_literal_is_inert():
+    text = 's = "# repro-flow: derivable=_x -- not a comment"\n'
+    assert parse_annotations(text) == {}
+
+
+def test_reasonless_annotation_is_a_finding_and_discharges_nothing():
+    findings = _rules({
+        "src/repro/logic/zr.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = 1  # repro-flow: derivable=_a\n"
+            "    def state_snapshot(self):\n"
+            "        return {}\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert ("flow-annotation-missing-reason", 5) in findings
+    # Discharged nothing: the coverage finding fires too.
+    assert any(rule == "flow-snapshot-coverage" for rule, _ in findings)
+
+
+def test_unknown_directive_is_a_finding():
+    findings = _rules({
+        "src/repro/logic/zu.py": (
+            "x = 1  # repro-flow: volatile=_a -- wrong directive\n"
+        ),
+    })
+    assert ("flow-annotation-unknown-directive", 1) in findings
+
+
+def test_unused_annotation_is_a_finding():
+    findings = _rules({
+        "src/repro/logic/zn.py": (
+            "x = 1  # repro-flow: derivable=_nothing -- excuses nothing\n"
+        ),
+    })
+    assert ("flow-annotation-unused", 1) in findings
+
+
+def test_annotation_for_covered_attribute_is_reported_unused():
+    findings = _rules({
+        "src/repro/logic/zc.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        # repro-flow: derivable=_a -- stale: snapshot covers it\n"
+            "        self._a = 1\n"
+            "    def state_snapshot(self):\n"
+            "        return {'a': self._a}\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert ("flow-annotation-unused", 5) in findings
+
+
+def test_comma_separated_arguments_sanction_several_attributes():
+    result = FlowAnalyzer().check_paths(["src/repro/markers.py"], sources={
+        "src/repro/logic/zm.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        # repro-flow: derivable=_a,_b -- both rebuilt on restore\n"
+            "        self._a = 1\n"
+            "        self._b = 2\n"
+            "    def state_snapshot(self):\n"
+            "        return {}\n"
+        ),
+    })
+    assert result.findings == []

@@ -1,0 +1,224 @@
+"""Call-graph builder: the hard resolution edges.
+
+Every test builds a small in-memory program (module paths under
+``src/repro`` so ``module_of`` resolves them) and asserts on the
+resolved edges — aliased imports, decorated functions, properties,
+lambdas, ``super()`` dispatch, nested functions, and constructor typing
+are exactly the cases a naive per-file matcher gets wrong.
+"""
+
+from repro.analysis.flow.callgraph import build_program
+
+
+def _calls(program, qname):
+    return {callee for callee, _line, _kind in program.functions[qname].calls}
+
+
+def _edge_kinds(program, qname):
+    return {
+        (callee, kind) for callee, _line, kind in program.functions[qname].calls
+    }
+
+
+def test_aliased_module_import_resolves():
+    program = build_program([], sources={
+        "src/repro/logic/zhelper.py": "def helper():\n    return 1\n",
+        "src/repro/logic/zuser.py": (
+            "import repro.logic.zhelper as zh\n"
+            "def use():\n"
+            "    return zh.helper()\n"
+        ),
+    })
+    assert "repro.logic.zhelper.helper" in _calls(program, "repro.logic.zuser.use")
+
+
+def test_aliased_from_import_resolves():
+    program = build_program([], sources={
+        "src/repro/logic/zhelper.py": "def helper():\n    return 1\n",
+        "src/repro/logic/zuser.py": (
+            "from repro.logic.zhelper import helper as h\n"
+            "def use():\n"
+            "    return h()\n"
+        ),
+    })
+    assert "repro.logic.zhelper.helper" in _calls(program, "repro.logic.zuser.use")
+
+
+def test_reexport_through_package_init_resolves():
+    program = build_program([], sources={
+        "src/repro/logic/__init__.py": (
+            "from repro.logic.zhelper import helper\n"
+        ),
+        "src/repro/logic/zhelper.py": "def helper():\n    return 1\n",
+        "src/repro/system/zuser.py": (
+            "from repro.logic import helper\n"
+            "def use():\n"
+            "    return helper()\n"
+        ),
+    })
+    assert "repro.logic.zhelper.helper" in _calls(program, "repro.system.zuser.use")
+
+
+def test_decorated_function_still_resolves_and_decorator_runs_at_import():
+    program = build_program([], sources={
+        "src/repro/logic/zdec.py": (
+            "def deco(fn):\n"
+            "    return fn\n"
+            "@deco\n"
+            "def target():\n"
+            "    return 1\n"
+            "def use():\n"
+            "    return target()\n"
+        ),
+    })
+    assert "repro.logic.zdec.target" in _calls(program, "repro.logic.zdec.use")
+    # The decorator application itself is an import-time call.
+    assert "repro.logic.zdec.deco" in _calls(program, "repro.logic.zdec.<module>")
+
+
+def test_property_read_is_a_call_edge():
+    program = build_program([], sources={
+        "src/repro/logic/zprop.py": (
+            "class Box:\n"
+            "    @property\n"
+            "    def value(self):\n"
+            "        return 1\n"
+            "def use(box: Box):\n"
+            "    return box.value\n"
+        ),
+    })
+    assert (
+        "repro.logic.zprop.Box.value",
+        "property",
+    ) in _edge_kinds(program, "repro.logic.zprop.use")
+
+
+def test_lambda_body_belongs_to_enclosing_function():
+    program = build_program([], sources={
+        "src/repro/logic/zlam.py": (
+            "def helper(x):\n"
+            "    return x\n"
+            "def use(items):\n"
+            "    return sorted(items, key=lambda i: helper(i))\n"
+        ),
+    })
+    assert "repro.logic.zlam.helper" in _calls(program, "repro.logic.zlam.use")
+
+
+def test_super_dispatch_resolves_to_base_method():
+    program = build_program([], sources={
+        "src/repro/logic/zsuper.py": (
+            "class Base:\n"
+            "    def greet(self):\n"
+            "        return 'base'\n"
+            "class Child(Base):\n"
+            "    def greet(self):\n"
+            "        return super().greet() + '!'\n"
+        ),
+    })
+    calls = _calls(program, "repro.logic.zsuper.Child.greet")
+    assert "repro.logic.zsuper.Base.greet" in calls
+    # Not a self-call: super() must skip the defining class.
+    assert "repro.logic.zsuper.Child.greet" not in calls
+
+
+def test_inherited_method_resolves_through_base():
+    program = build_program([], sources={
+        "src/repro/logic/zinherit.py": (
+            "class Base:\n"
+            "    def shared(self):\n"
+            "        return 1\n"
+            "class Child(Base):\n"
+            "    def use(self):\n"
+            "        return self.shared()\n"
+        ),
+    })
+    assert "repro.logic.zinherit.Base.shared" in _calls(
+        program, "repro.logic.zinherit.Child.use"
+    )
+
+
+def test_nested_function_gets_defines_edge():
+    program = build_program([], sources={
+        "src/repro/logic/znest.py": (
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n"
+        ),
+    })
+    assert (
+        "repro.logic.znest.outer.<locals>.inner",
+        "defines",
+    ) in _edge_kinds(program, "repro.logic.znest.outer")
+
+
+def test_constructor_typing_resolves_method_on_local():
+    program = build_program([], sources={
+        "src/repro/logic/zctor.py": (
+            "class Engine:\n"
+            "    def start(self):\n"
+            "        return 1\n"
+            "def use():\n"
+            "    engine = Engine()\n"
+            "    return engine.start()\n"
+        ),
+    })
+    calls = _calls(program, "repro.logic.zctor.use")
+    assert "repro.logic.zctor.Engine.start" in calls
+    assert "repro.logic.zctor.Engine.__init__" not in calls  # no __init__ defined
+
+
+def test_constructor_typed_self_attribute_resolves_across_methods():
+    program = build_program([], sources={
+        "src/repro/logic/zattr.py": (
+            "class Engine:\n"
+            "    def start(self):\n"
+            "        return 1\n"
+            "class Car:\n"
+            "    def __init__(self):\n"
+            "        self._engine = Engine()\n"
+            "    def drive(self):\n"
+            "        return self._engine.start()\n"
+        ),
+    })
+    assert "repro.logic.zattr.Engine.start" in _calls(
+        program, "repro.logic.zattr.Car.drive"
+    )
+
+
+def test_instantiation_calls_init():
+    program = build_program([], sources={
+        "src/repro/logic/zinit.py": (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.x = 1\n"
+            "def build():\n"
+            "    return Widget()\n"
+        ),
+    })
+    assert "repro.logic.zinit.Widget.__init__" in _calls(
+        program, "repro.logic.zinit.build"
+    )
+
+
+def test_external_calls_recorded_with_dotted_names():
+    program = build_program([], sources={
+        "src/repro/logic/zext.py": (
+            "import time\n"
+            "from os import getenv\n"
+            "def use():\n"
+            "    getenv('HOME')\n"
+            "    return time.time()\n"
+        ),
+    })
+    dotted = {name for name, _ in program.functions["repro.logic.zext.use"].external_calls}
+    assert "time.time" in dotted
+    assert "os.getenv" in dotted
+
+
+def test_parse_error_is_recorded_not_raised():
+    program = build_program([], sources={
+        "src/repro/logic/zbroken.py": "def broken(:\n",
+    })
+    assert "src/repro/logic/zbroken.py" in program.parse_errors

@@ -1,0 +1,192 @@
+"""Checkpoint-coverage proof: semantics, annotations, and the seeded
+mutation self-checks against the real runtime source."""
+
+from pathlib import Path
+
+from repro.analysis.flow import FlowAnalyzer
+
+NETFAULTS = Path("src/repro/faults/netfaults.py")
+ADMISSION = Path("src/repro/decision/admission.py")
+
+
+def _coverage(sources, paths=()):
+    result = FlowAnalyzer().check_paths(list(paths), sources=sources)
+    return [f for f in result.findings if f.rule == "flow-snapshot-coverage"]
+
+
+def test_uncaptured_attribute_is_a_finding():
+    findings = _coverage({
+        "src/repro/logic/zckpt.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._kept = {}\n"
+            "        self._lost = []\n"
+            "    def state_snapshot(self):\n"
+            "        return {'kept': dict(self._kept)}\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert len(findings) == 1
+    assert "self._lost" in findings[0].message
+    assert findings[0].line == 6
+
+
+def test_derivable_annotation_discharges_the_obligation():
+    result = FlowAnalyzer().check_paths(["src/repro/markers.py"], sources={
+        "src/repro/logic/zckpt.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._kept = {}\n"
+            "        # repro-flow: derivable=_cache -- rebuilt lazily\n"
+            "        self._cache = {}\n"
+            "    def state_snapshot(self):\n"
+            "        return {'kept': dict(self._kept)}\n"
+        ),
+    })
+    assert not [f for f in result.findings if f.rule == "flow-snapshot-coverage"]
+    # Consumed annotation: not reported unused.
+    assert not [f for f in result.findings if f.rule == "flow-annotation-unused"]
+
+
+def test_wholesale_getstate_covers_everything_except_pops():
+    findings = _coverage({
+        "src/repro/logic/zwhole.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = 1\n"
+            "        self._b = 2\n"
+            "    def __getstate__(self):\n"
+            "        state = dict(self.__dict__)\n"
+            "        state.pop('_b', None)\n"
+            "        return state\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert len(findings) == 1
+    assert "self._b" in findings[0].message
+
+
+def test_class_constant_pop_loop_is_resolved():
+    findings = _coverage({
+        "src/repro/logic/zconst.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    _VOLATILE = ('_b', '_c')\n"
+            "    def __init__(self):\n"
+            "        self._a = 1\n"
+            "        self._b = 2\n"
+            "        self._c = 3\n"
+            "    def __getstate__(self):\n"
+            "        state = dict(self.__dict__)\n"
+            "        for name in self._VOLATILE:\n"
+            "            state.pop(name, None)\n"
+            "        return state\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    named = {f.message.split("assigns self.")[1].split(" ")[0] for f in findings}
+    assert named == {"_b", "_c"}
+
+
+def test_capture_through_same_class_helper_counts():
+    findings = _coverage({
+        "src/repro/logic/zhelper.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = 1\n"
+            "    def state_snapshot(self):\n"
+            "        return self._serialize()\n"
+            "    def _serialize(self):\n"
+            "        return {'a': self._a}\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert findings == []
+
+
+def test_restore_method_does_not_count_as_capture():
+    findings = _coverage({
+        "src/repro/logic/zrestore.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = 1\n"
+            "    def state_snapshot(self):\n"
+            "        return {}\n"
+            "    def restore_state(self, snapshot):\n"
+            "        self._a = snapshot.get('a', 1)\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert len(findings) == 1
+    assert "self._a" in findings[0].message
+
+
+def test_checkpointable_class_without_snapshot_method_is_a_finding():
+    findings = _coverage({
+        "src/repro/logic/znosnap.py": (
+            "from repro.markers import checkpointable\n"
+            "@checkpointable\n"
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = 1\n"
+        ),
+    }, paths=["src/repro/markers.py"])
+    assert len(findings) == 1
+    assert "defines none of" in findings[0].message
+
+
+def test_undecorated_class_is_not_under_the_proof():
+    findings = _coverage({
+        "src/repro/logic/zplain.py": (
+            "class Store:\n"
+            "    def __init__(self):\n"
+            "        self._a = 1\n"
+            "    def state_snapshot(self):\n"
+            "        return {}\n"
+        ),
+    })
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Seeded mutation self-checks (ISSUE acceptance criteria): tampering
+# with the real snapshot methods must flip the analysis to a failing
+# finding naming the lost attribute.
+# ----------------------------------------------------------------------
+def test_mutation_dropping_leases_from_mesh_snapshot_is_caught():
+    original = NETFAULTS.read_text()
+    capture_line = '            "leases": self._leases.state_snapshot(),\n'
+    assert capture_line in original, "fixture drifted: update the capture line"
+    mutated = original.replace(capture_line, "")
+    findings = _coverage(
+        {str(NETFAULTS): mutated}, paths=["src/repro"]
+    )
+    named = [f for f in findings if "self._leases" in f.message]
+    assert len(named) == 1
+    assert "MeshPolicy" in named[0].message
+
+
+def test_mutation_popping_schedules_from_admission_getstate_is_caught():
+    original = ADMISSION.read_text()
+    anchor = "        state = dict(self.__dict__)\n"
+    assert anchor in original, "fixture drifted: update the anchor line"
+    mutated = original.replace(
+        anchor, anchor + '        state.pop("_schedules", None)\n', 1
+    )
+    findings = _coverage(
+        {str(ADMISSION): mutated}, paths=["src/repro"]
+    )
+    named = [f for f in findings if "self._schedules" in f.message]
+    assert len(named) == 1
+    assert "AdmissionController" in named[0].message
+
+
+def test_unmutated_tree_passes_the_proof():
+    findings = _coverage({}, paths=["src/repro"])
+    assert findings == []

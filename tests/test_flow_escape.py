@@ -1,0 +1,117 @@
+"""Shared-state escape analysis and the ranked isolation report."""
+
+from repro.analysis.flow import FlowAnalyzer
+
+
+def _run(sources, paths=()):
+    return FlowAnalyzer().check_paths(list(paths), sources=sources)
+
+
+def test_module_level_mutable_in_scope_is_a_finding():
+    result = _run({
+        "src/repro/system/zstate.py": "_registry = {}\n",
+    })
+    findings = [f for f in result.findings if f.rule == "flow-shared-state"]
+    assert len(findings) == 1
+    assert "_registry" in findings[0].message
+
+
+def test_module_level_mutable_outside_scope_is_not():
+    result = _run({
+        "src/repro/logic/zstate.py": "_registry = {}\n",
+    })
+    assert not [f for f in result.findings if f.rule == "flow-shared-state"]
+
+
+def test_dunder_metadata_is_not_an_escape():
+    result = _run({
+        "src/repro/system/zall.py": "__all__ = ['a', 'b']\n",
+    })
+    assert not [f for f in result.findings if f.rule == "flow-shared-state"]
+
+
+def test_immutable_module_constant_is_not_an_escape():
+    result = _run({
+        "src/repro/system/zconst.py": "LIMIT = 5\nNAMES = ('a', 'b')\n",
+    })
+    assert not [f for f in result.findings if f.rule == "flow-shared-state"]
+
+
+def test_ambient_singleton_instance_is_a_finding():
+    result = _run({
+        "src/repro/system/zsing.py": (
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+            "_shared = Counter()\n"
+        ),
+    })
+    findings = [f for f in result.findings if f.rule == "flow-shared-state"]
+    assert len(findings) == 1
+    assert "ambient singleton" in findings[0].message
+
+
+def test_class_level_mutable_default_is_a_finding():
+    result = _run({
+        "src/repro/decision/zdefault.py": (
+            "class Pool:\n"
+            "    members = []\n"
+        ),
+    })
+    findings = [f for f in result.findings if f.rule == "flow-shared-state"]
+    assert len(findings) == 1
+    assert "Pool.members" in findings[0].message
+
+
+def test_global_statement_is_a_finding():
+    result = _run({
+        "src/repro/encapsulation/zglob.py": (
+            "_mode = 'off'\n"
+            "def set_mode(mode):\n"
+            "    global _mode\n"
+            "    _mode = mode\n"
+        ),
+    })
+    globals_found = [
+        f for f in result.findings
+        if f.rule == "flow-shared-state" and "global" in f.message
+    ]
+    assert len(globals_found) == 1
+
+
+def test_reasoned_suppression_silences_and_is_consumed():
+    result = _run({
+        "src/repro/system/zok.py": (
+            "_cache = {}  # repro-lint: disable=flow-shared-state"
+            " -- test sanction: read-only after import\n"
+        ),
+    })
+    assert not [f for f in result.findings if f.rule == "flow-shared-state"]
+    assert not [f for f in result.findings if f.rule == "suppression-unused"]
+
+
+def test_isolation_report_is_ranked_and_covers_sanctioned_entries():
+    result = _run({
+        "src/repro/system/zmix.py": (
+            "_table = {}  # repro-lint: disable=flow-shared-state"
+            " -- test sanction: rank-1 entry stays in the report\n"
+            "class Pool:\n"
+            "    members = []  # repro-lint: disable=flow-shared-state"
+            " -- test sanction: rank-2 entry\n"
+        ),
+    })
+    ranks = [(e.rank, e.name) for e in result.isolation_report
+             if e.path == "src/repro/system/zmix.py"]
+    # Suppression silences the finding, but the report still lists the
+    # escape — it is the parallel-DES work-list, not a gate.
+    assert (1, "_table") in ranks
+    assert (2, "Pool.members") in ranks
+    assert ranks == sorted(ranks)
+
+
+def test_real_tree_report_includes_event_sequence_singleton():
+    result = FlowAnalyzer().check_paths(["src/repro"])
+    rank1 = [e for e in result.isolation_report if e.rank == 1]
+    assert any(e.name == "_sequence" and "events" in e.module for e in rank1)
+    # Sanctioned registry reads appear at rank 3.
+    assert any(e.kind == "ambient-read" for e in result.isolation_report)

@@ -1,0 +1,69 @@
+"""Regression tests for the runtime findings the flow analyzer surfaced.
+
+Each fix replaced process-global mutable state (``itertools.count``
+module counters) with values derived from the owning object's own state,
+so identical local histories now produce identical results regardless of
+what the rest of the process did — the property the enclave-parallel
+plan and the replay journal both require.
+"""
+
+from repro.decision.admission import AdmissionController, _unique_label
+from repro.encapsulation.enclave import Enclave
+from repro.resources.resource_set import ResourceSet
+
+
+class TestUniqueLabelDeterminism:
+    def test_fresh_label_passes_through(self):
+        assert _unique_label("job", {}) == "job"
+
+    def test_collision_takes_smallest_free_ordinal(self):
+        assert _unique_label("job", {"job": None}) == "job#2"
+        assert _unique_label("job", {"job": None, "job#2": None}) == "job#3"
+
+    def test_gaps_are_refilled_deterministically(self):
+        existing = {"job": None, "job#3": None}
+        assert _unique_label("job", existing) == "job#2"
+
+    def test_no_cross_controller_bleed(self):
+        # Before the fix a module-level counter made the suffix depend on
+        # every admission the process ever performed; now identical local
+        # tables give identical labels, every time.
+        for _ in range(5):
+            assert _unique_label("job", {"job": None}) == "job#2"
+
+
+class TestEnclaveDefaultNames:
+    def test_root_default_name_is_stable(self):
+        a = Enclave("", AdmissionController(ResourceSet.empty()))
+        b = Enclave("", AdmissionController(ResourceSet.empty()))
+        assert a.name == b.name == "enclave-root"
+
+    def test_child_default_names_derive_from_tree_state(self):
+        def build():
+            root = Enclave.root(ResourceSet.empty())
+            first = Enclave(
+                "", AdmissionController(ResourceSet.empty()), parent=root
+            )
+            root._children[first.name] = first
+            second = Enclave(
+                "", AdmissionController(ResourceSet.empty()), parent=root
+            )
+            return first.name, second.name
+
+        # Two independent trees — or the same tree in two processes —
+        # must produce the same names.
+        assert build() == build() == ("enclave-1", "enclave-2")
+
+    def test_default_name_skips_taken_ordinals(self):
+        root = Enclave.root(ResourceSet.empty())
+        root._children["enclave-1"] = Enclave(
+            "enclave-1", AdmissionController(ResourceSet.empty()), parent=root
+        )
+        child = Enclave(
+            "", AdmissionController(ResourceSet.empty()), parent=root
+        )
+        assert child.name == "enclave-2"
+
+    def test_explicit_names_still_win(self):
+        enclave = Enclave("custom", AdmissionController(ResourceSet.empty()))
+        assert enclave.name == "custom"
